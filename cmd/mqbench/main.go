@@ -1,0 +1,211 @@
+// Command mqbench regenerates the paper's evaluation artifacts (every table
+// and figure of §5) on the simulated runtime, printing aligned text tables
+// and optionally CSV files.
+//
+// Usage:
+//
+//	mqbench -experiment=fig4 -op=subsample
+//	mqbench -experiment=all -clients=16 -queries=16 -csv=out/
+//
+// Experiments: e1 (caching effect), fig4, fig5, fig6, fig7, a1 (CF alpha),
+// a2 (PS dedup), a3 (blocking), calibration, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mqsched/internal/driver"
+	"mqsched/internal/experiment"
+	"mqsched/internal/vm"
+)
+
+func main() {
+	var (
+		expName = flag.String("experiment", "all", "experiment id: e1, fig4, fig5, fig6, fig7, a1, a2, a3, a4, x1, x2, x3, v1, timeline, calibration, all")
+		opName  = flag.String("op", "both", "VM implementation: subsample, average, both")
+		clients = flag.Int("clients", 16, "number of emulated clients")
+		queries = flag.Int("queries", 16, "queries per client")
+		threads = flag.Int("threads", 4, "query threads (where not swept)")
+		cpus    = flag.Int("cpus", 24, "processors of the simulated SMP")
+		disks   = flag.Int("disks", 4, "spindles in the disk farm")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		csvDir  = flag.String("csv", "", "directory to write CSV copies of each table")
+		dumpWl  = flag.String("dumpworkload", "", "write the generated workload (both ops) as JSON to this path and exit")
+		loadWl  = flag.String("workload", "", "replay a saved workload (JSON) through a single run instead of an experiment sweep")
+		policy  = flag.String("policy", "cnbf", "ranking strategy for -workload replays")
+	)
+	flag.Parse()
+
+	ops, err := parseOps(*opName)
+	if err != nil {
+		fatal(err)
+	}
+	base := experiment.Config{
+		Clients:          *clients,
+		QueriesPerClient: *queries,
+		Threads:          *threads,
+		CPUs:             *cpus,
+		Disks:            *disks,
+		Seed:             *seed,
+	}
+
+	if *dumpWl != "" {
+		if err := dumpWorkload(*dumpWl, base, ops[0]); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *dumpWl)
+		return
+	}
+
+	if *loadWl != "" {
+		if err := replayWorkload(*loadWl, base, *policy); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	start := time.Now()
+	if *expName == "timeline" {
+		for _, op := range ops {
+			cfg := base
+			cfg.Op = op
+			rep, err := experiment.TimelineReport(cfg, nil)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(rep)
+		}
+		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	for _, spec := range selectExperiments(*expName) {
+		for _, op := range ops {
+			if spec.singleOp && op != ops[0] {
+				continue // op-independent experiments run once
+			}
+			cfg := base
+			cfg.Op = op
+			tb, err := spec.run(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(tb.String())
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, spec.id, op, spec.singleOp, &tb); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+type spec struct {
+	id       string
+	singleOp bool // experiment already covers both ops internally
+	run      func(experiment.Config) (experiment.Table, error)
+}
+
+func selectExperiments(name string) []spec {
+	all := []spec{
+		{"e1", true, func(c experiment.Config) (experiment.Table, error) { return experiment.CachingEffect(c) }},
+		{"fig4", false, func(c experiment.Config) (experiment.Table, error) { return experiment.ResponseVsThreads(c, nil) }},
+		{"fig5", false, func(c experiment.Config) (experiment.Table, error) { return experiment.OverlapVsMemory(c, nil) }},
+		{"fig6", false, func(c experiment.Config) (experiment.Table, error) { return experiment.ResponseVsMemory(c, nil) }},
+		{"fig7", false, func(c experiment.Config) (experiment.Table, error) { return experiment.BatchVsMemory(c, nil) }},
+		{"a1", false, func(c experiment.Config) (experiment.Table, error) { return experiment.CFAlphaAblation(c, nil) }},
+		{"a2", false, func(c experiment.Config) (experiment.Table, error) { return experiment.PageSpaceAblation(c) }},
+		{"a3", false, func(c experiment.Config) (experiment.Table, error) { return experiment.BlockingAblation(c) }},
+		{"a4", false, func(c experiment.Config) (experiment.Table, error) { return experiment.PrefetchAblation(c, nil) }},
+		{"x2", false, func(c experiment.Config) (experiment.Table, error) { return experiment.WorkloadSensitivity(c) }},
+		{"x3", false, func(c experiment.Config) (experiment.Table, error) { return experiment.SeedSensitivity(c, nil) }},
+		{"x1", false, func(c experiment.Config) (experiment.Table, error) { return experiment.ExtensionsComparison(c) }},
+		{"v1", true, func(c experiment.Config) (experiment.Table, error) { return experiment.VolumeComparison(c) }},
+		{"calibration", true, func(c experiment.Config) (experiment.Table, error) { return experiment.Calibration(c) }},
+	}
+	if name == "all" {
+		return all
+	}
+	for _, s := range all {
+		if s.id == name {
+			return []spec{s}
+		}
+	}
+	fatal(fmt.Errorf("unknown experiment %q (want e1, fig4..fig7, a1..a3, x1, calibration, all)", name))
+	return nil
+}
+
+func parseOps(name string) ([]vm.Op, error) {
+	switch name {
+	case "both":
+		return []vm.Op{vm.Subsample, vm.Average}, nil
+	default:
+		op, err := vm.ParseOp(name)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Op{op}, nil
+	}
+}
+
+func writeCSV(dir, id string, op vm.Op, singleOp bool, tb *experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := id
+	if !singleOp {
+		name += "_" + strings.ReplaceAll(op.String(), " ", "_")
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(tb.CSV()), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mqbench:", err)
+	os.Exit(1)
+}
+
+// dumpWorkload writes the workload an experiment would run, for inspection
+// or replay.
+func dumpWorkload(path string, base experiment.Config, op vm.Op) error {
+	table := driver.PaperSlides()
+	queries := driver.Generate(driver.WorkloadConfig{
+		Clients:          base.Clients,
+		QueriesPerClient: base.QueriesPerClient,
+		Op:               op,
+		Seed:             base.Seed,
+	}, table)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return driver.SaveWorkload(f, queries)
+}
+
+// replayWorkload runs one saved workload through a single configuration and
+// prints the headline metrics.
+func replayWorkload(path string, base experiment.Config, policy string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	queries, err := driver.LoadWorkload(f, driver.PaperSlides())
+	if err != nil {
+		return err
+	}
+	cfg := base
+	cfg.Policy = policy
+	m, err := experiment.RunWorkload(cfg, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d queries under %s: trimmed response %.3fs, mean wait %.3fs, overlap %.3f, makespan %.1fs\n",
+		m.Queries, m.Policy, m.TrimmedResponse, m.MeanWait, m.AvgOverlap, m.Makespan)
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command mqclient sends one Virtual Microscope query to a running mqserver
+// and writes the answer image as a PNG.
+//
+// Usage:
+//
+//	mqclient -addr localhost:9123 -slide slide1 -window 1024,1024,5120,5120 -zoom 4 -op average -o view.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"image/png"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"mqsched/internal/netproto"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "localhost:9123", "server address")
+		slide  = flag.String("slide", "slide1", "slide name")
+		window = flag.String("window", "0,0,4096,4096", "query window x0,y0,x1,y1 at base resolution")
+		zoom   = flag.Int64("zoom", 4, "magnification reduction factor N")
+		op     = flag.String("op", "subsample", "processing function: subsample or average")
+		out    = flag.String("o", "view.png", "output PNG path ('' to skip)")
+	)
+	flag.Parse()
+
+	coords, err := parseWindow(*window)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nc, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nc.Close()
+	c := netproto.NewConn(nc)
+
+	req := &netproto.Request{
+		Slide: *slide,
+		X0:    coords[0], Y0: coords[1], X1: coords[2], Y1: coords[3],
+		Zoom:       *zoom,
+		Op:         *op,
+		OmitPixels: *out == "",
+	}
+	if err := c.WriteRequest(req); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := c.ReadResponse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.Err != "" {
+		log.Fatalf("server error: %s", resp.Err)
+	}
+	fmt.Printf("%dx%d image  response=%.1fms (wait %.1fms, exec %.1fms)  reused=%.0f%%\n",
+		resp.Width, resp.Height, resp.ResponseMS, resp.WaitMS, resp.ExecMS, resp.ReusedFrac*100)
+
+	if *out == "" {
+		return
+	}
+	if err := writePNG(*out, resp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func parseWindow(s string) ([4]int64, error) {
+	var out [4]int64
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return out, fmt.Errorf("bad window %q (want x0,y0,x1,y1)", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("bad window coordinate %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func writePNG(path string, resp *netproto.Response) error {
+	img := image.NewRGBA(image.Rect(0, 0, int(resp.Width), int(resp.Height)))
+	i := 0
+	for y := 0; y < int(resp.Height); y++ {
+		for x := 0; x < int(resp.Width); x++ {
+			o := img.PixOffset(x, y)
+			img.Pix[o] = resp.Pixels[i]
+			img.Pix[o+1] = resp.Pixels[i+1]
+			img.Pix[o+2] = resp.Pixels[i+2]
+			img.Pix[o+3] = 0xff
+			i += 3
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return png.Encode(f, img)
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseWindow(t *testing.T) {
+	got, err := parseWindow("1, 2,3 ,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != [4]int64{1, 2, 3, 4} {
+		t.Fatalf("parseWindow = %v", got)
+	}
+	for _, bad := range []string{"1,2,3", "1,2,3,4,5", "a,2,3,4", ""} {
+		if _, err := parseWindow(bad); err == nil {
+			t.Errorf("parseWindow(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command mqdriver emulates multiple simultaneous clients against a running
+// mqserver over TCP, like the driver program of the paper's evaluation
+// (which ran on a cluster of PCs connected to the SMP). It generates a
+// hotspot browsing workload and reports client-observed latency statistics.
+//
+// Usage:
+//
+//	mqdriver -addr localhost:9123 -clients 8 -queries 16 -slide slide1 -op subsample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"mqsched/internal/netproto"
+	"mqsched/internal/stats"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:9123", "server address")
+		clients = flag.Int("clients", 8, "number of concurrent emulated clients")
+		queries = flag.Int("queries", 16, "queries per client")
+		slide   = flag.String("slide", "slide1", "slide to browse")
+		side    = flag.Int64("side", 16384, "slide edge in pixels (must match the server)")
+		outSide = flag.Int64("out", 512, "output image edge in pixels")
+		op      = flag.String("op", "subsample", "processing function")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		think   = flag.Duration("think", 0, "client think time between queries")
+	)
+	flag.Parse()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		reuseSum  float64
+		count     int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", *addr)
+			if err != nil {
+				log.Printf("client %d: %v", c, err)
+				return
+			}
+			defer nc.Close()
+			conn := netproto.NewConn(nc)
+			rng := rand.New(rand.NewSource(*seed + int64(c)*7919))
+			for q := 0; q < *queries; q++ {
+				zoom := []int64{1, 2, 4, 8}[rng.Intn(4)]
+				w := *outSide * zoom
+				if w > *side {
+					w = *side
+				}
+				span := *side - w
+				hx := []int64{*side / 4, 3 * *side / 4}[rng.Intn(2)]
+				x0 := clamp(hx-w/2+int64(rng.NormFloat64()*900), 0, span)
+				y0 := clamp(hx-w/2+int64(rng.NormFloat64()*900), 0, span)
+				req := &netproto.Request{
+					Slide: *slide,
+					X0:    x0, Y0: y0, X1: x0 + w, Y1: y0 + w,
+					Zoom: zoom, Op: *op, OmitPixels: true,
+				}
+				t0 := time.Now()
+				if err := conn.WriteRequest(req); err != nil {
+					log.Printf("client %d: %v", c, err)
+					return
+				}
+				resp, err := conn.ReadResponse()
+				if err != nil {
+					log.Printf("client %d: %v", c, err)
+					return
+				}
+				if resp.Err != "" {
+					log.Printf("client %d: server: %s", c, resp.Err)
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0).Seconds()*1000)
+				reuseSum += resp.ReusedFrac
+				count++
+				mu.Unlock()
+				if *think > 0 {
+					time.Sleep(*think)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if count == 0 {
+		log.Fatal("no queries completed")
+	}
+	s := stats.Summarize(latencies)
+	fmt.Printf("%d queries from %d clients in %s\n", count, *clients, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("latency ms: mean=%.1f trimmed95=%.1f p50=%.1f p95=%.1f max=%.1f\n",
+		s.Mean, s.TrimmedMean, s.P50, s.P95, s.Max)
+	fmt.Printf("mean reuse: %.0f%%\n", reuseSum/float64(count)*100)
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+// Command mqserver runs the multi-query Virtual Microscope server live on
+// TCP: real goroutines, real pixel data from synthetic slides, the full
+// middleware stack (scheduling graph, data store, page space, disk farm
+// model). Pair it with cmd/mqclient (single queries, PNG output) or
+// cmd/mqdriver (emulated multi-client load).
+//
+// Usage:
+//
+//	mqserver -addr :9123 -slides slide1:16384x16384,slide2:8192x8192 -policy cnbf -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"mqsched"
+	"mqsched/internal/netproto"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9123", "listen address")
+		slides    = flag.String("slides", "slide1:16384x16384,slide2:16384x16384,slide3:16384x16384", "comma-separated name:WxH slide list")
+		policy    = flag.String("policy", "cf", "ranking strategy: fifo, muf, ff, cf, cnbf, sjf")
+		threads   = flag.Int("threads", 4, "query threads")
+		dsMB      = flag.Int64("ds", 64, "data store MB (-1 disables caching)")
+		psMB      = flag.Int64("ps", 32, "page space MB")
+		timeScale = flag.Float64("timescale", 0.002, "compression of modelled disk time")
+	)
+	flag.Parse()
+
+	specs, err := parseSlides(*slides)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsBudget := *dsMB * (1 << 20)
+	if *dsMB < 0 {
+		dsBudget = -1
+	}
+	sys, err := mqsched.New(mqsched.Config{
+		Mode:      mqsched.Real,
+		Policy:    *policy,
+		Threads:   *threads,
+		DSBudget:  dsBudget,
+		PSBudget:  *psMB * (1 << 20),
+		TimeScale: *timeScale,
+	}, mqsched.NewSlideTable(specs...))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mqserver: policy=%s threads=%d listening on %s", *policy, *threads, l.Addr())
+	for _, s := range specs {
+		log.Printf("  slide %s: %dx%d", s.Name, s.Width, s.Height)
+	}
+	if err := netproto.Serve(l, sys, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseSlides(s string) ([]mqsched.Slide, error) {
+	var out []mqsched.Slide
+	for _, part := range strings.Split(s, ",") {
+		name, dims, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad slide spec %q (want name:WxH)", part)
+		}
+		ws, hs, ok := strings.Cut(dims, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad slide dims %q (want WxH)", dims)
+		}
+		w, err := strconv.ParseInt(ws, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad slide width %q: %v", ws, err)
+		}
+		h, err := strconv.ParseInt(hs, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad slide height %q: %v", hs, err)
+		}
+		out = append(out, mqsched.Slide{Name: name, Width: w, Height: h})
+	}
+	return out, nil
+}

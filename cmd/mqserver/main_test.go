@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseSlides(t *testing.T) {
+	got, err := parseSlides("a:100x200, b:300x400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[0].Width != 100 || got[0].Height != 200 ||
+		got[1].Name != "b" || got[1].Width != 300 || got[1].Height != 400 {
+		t.Fatalf("parseSlides = %+v", got)
+	}
+	for _, bad := range []string{"a", "a:100", "a:xx200", "a:100xzz", "a:100x200,b"} {
+		if _, err := parseSlides(bad); err == nil {
+			t.Errorf("parseSlides(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package mqsched_test
+
+import (
+	"fmt"
+	"log"
+
+	"mqsched"
+)
+
+// A complete round trip on the deterministic simulated runtime: the second,
+// identical query is answered entirely from the data store.
+func ExampleSystem() {
+	table := mqsched.NewSlideTable(mqsched.Slide{Name: "slide1", Width: 4096, Height: 4096})
+	sys, err := mqsched.New(mqsched.Config{Mode: mqsched.Simulated, Policy: "cnbf"}, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sys.RunWith(func(ctx mqsched.Ctx) {
+		q := mqsched.NewVMQuery("slide1", mqsched.R(0, 0, 2048, 2048), 4, mqsched.Subsample)
+		first, _ := sys.Submit(q)
+		r1 := first.Wait(ctx)
+		second, _ := sys.Submit(q)
+		r2 := second.Wait(ctx)
+		fmt.Printf("first: reused %.0f%%\n", r1.ReusedFrac*100)
+		fmt.Printf("second: reused %.0f%%, raw bytes %d\n", r2.ReusedFrac*100, r2.InputBytesRead)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// first: reused 0%
+	// second: reused 100%, raw bytes 0
+}
+
+// Queries name a window at base resolution; the output grid is the window
+// divided by the magnification factor.
+func ExampleNewVMQuery() {
+	q := mqsched.NewVMQuery("slide1", mqsched.R(1024, 1024, 3072, 3072), 4, mqsched.Average)
+	out := q.OutRect()
+	fmt.Printf("output %dx%d pixels\n", out.Dx(), out.Dy())
+	// Output:
+	// output 512x512 pixels
+}
+
+// AlignRect snaps an arbitrary window outward to the magnification grid.
+func ExampleAlignRect() {
+	bounds := mqsched.R(0, 0, 4096, 4096)
+	fmt.Println(mqsched.AlignRect(mqsched.R(3, 5, 1001, 1003), 8, bounds))
+	// Output:
+	// [0,1008)x[0,1008)
+}

@@ -1,0 +1,91 @@
+// Moviebatch: the paper's batch scenario (§5) — "if we want to create a
+// movie from a case study using VM, we may submit a set of queries, each of
+// which corresponds to a visualization of the slide being studied. In that
+// case, it is important to decrease the overall execution time of the batch
+// of queries."
+//
+// This example renders a camera path that pans across a slide while zooming
+// in: 96 frames submitted as one batch. Consecutive frames overlap heavily,
+// so locality-aware ranking (CF/CNBF) finishes the batch much faster than
+// FIFO. Runs on the deterministic simulated runtime.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mqsched"
+)
+
+const (
+	slideSide = int64(24576)
+	frameOut  = int64(512) // 512x512 frames
+	frames    = 96
+)
+
+func main() {
+	fmt.Printf("rendering a %d-frame fly-through as a single batch\n\n", frames)
+	fmt.Printf("%-6s  %12s  %12s  %8s\n", "policy", "batch time", "mean frame", "reuse")
+	for _, policy := range []string{"fifo", "sjf", "muf", "cf", "cnbf"} {
+		total, mean, reuse := render(policy)
+		fmt.Printf("%-6s  %11.1fs  %11.2fs  %6.0f%%\n", policy, total.Seconds(), mean.Seconds(), reuse*100)
+	}
+	fmt.Println("\nCNBF finishes the batch fastest: it orders frames by locality like CF,")
+	fmt.Println("but avoids scheduling a frame while the neighbour it depends on is still")
+	fmt.Println("rendering (which would stall a thread) — CF's eagerness costs it here.")
+}
+
+// render runs the whole movie under one ranking strategy and returns the
+// batch makespan, mean per-frame execution time and mean reuse.
+func render(policy string) (total time.Duration, meanExec time.Duration, reuse float64) {
+	table := mqsched.NewSlideTable(mqsched.Slide{Name: "case-study", Width: slideSide, Height: slideSide})
+	sys, err := mqsched.New(mqsched.Config{
+		Mode:    mqsched.Simulated,
+		Policy:  policy,
+		Threads: 4,
+	}, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = sys.RunWith(func(ctx mqsched.Ctx) {
+		// Camera path: pan diagonally while alternating zoom levels, the way
+		// a pathologist sweeps a slide.
+		tickets := make([]*mqsched.Ticket, 0, frames)
+		for f := 0; f < frames; f++ {
+			zoom := []int64{8, 4, 4, 2}[f%4]
+			side := frameOut * zoom
+			// Diagonal pan with a slow sweep so consecutive frames overlap.
+			span := slideSide - side
+			x0 := span * int64(f) / frames
+			y0 := span * int64(f) / frames
+			x0 = x0 / zoom * zoom
+			y0 = y0 / zoom * zoom
+			q := mqsched.NewVMQuery("case-study", mqsched.R(x0, y0, x0+side, y0+side), zoom, mqsched.Subsample)
+			tk, err := sys.Submit(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tickets = append(tickets, tk)
+		}
+		var execSum time.Duration
+		var reuseSum float64
+		var last time.Duration
+		for _, tk := range tickets {
+			res := tk.Wait(ctx)
+			execSum += res.ExecTime()
+			reuseSum += res.ReusedFrac
+			if res.Completed > last {
+				last = res.Completed
+			}
+		}
+		total = last
+		meanExec = execSum / frames
+		reuse = reuseSum / frames
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return total, meanExec, reuse
+}

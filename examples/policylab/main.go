@@ -1,0 +1,103 @@
+// Policylab: compare all six ranking strategies of the paper on the same
+// multi-client workload, across several thread-pool sizes — a miniature
+// version of the paper's Figure 4 built purely on the public API. Runs on
+// the deterministic simulated runtime, so the numbers are identical on every
+// machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"mqsched"
+)
+
+const (
+	clients     = 12
+	queriesEach = 8
+	slideSide   = int64(24576)
+	outputSide  = int64(768)
+)
+
+var policies = []string{"fifo", "muf", "ff", "cf", "cnbf", "sjf"}
+
+func main() {
+	threadCounts := []int{1, 2, 4, 8, 16}
+	fmt.Printf("mean query response time (s), %d clients x %d queries, subsampling\n\n", clients, queriesEach)
+	fmt.Printf("%-6s", "policy")
+	for _, t := range threadCounts {
+		fmt.Printf("  %7s", fmt.Sprintf("T=%d", t))
+	}
+	fmt.Println()
+	for _, p := range policies {
+		fmt.Printf("%-6s", p)
+		for _, t := range threadCounts {
+			fmt.Printf("  %7.2f", run(p, t).Seconds())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nFIFO ignores reuse entirely; the graph-based strategies start from the")
+	fmt.Println("same queue but order it by the reuse edges of the scheduling graph.")
+}
+
+// run executes the workload under one (policy, threads) setting and returns
+// the mean response time.
+func run(policy string, threads int) time.Duration {
+	table := mqsched.NewSlideTable(mqsched.Slide{Name: "s", Width: slideSide, Height: slideSide})
+	sys, err := mqsched.New(mqsched.Config{
+		Mode:    mqsched.Simulated,
+		Policy:  policy,
+		Threads: threads,
+	}, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sum time.Duration
+	var n int
+	for c := 0; c < clients; c++ {
+		c := c
+		sys.Start(fmt.Sprintf("client-%d", c), func(ctx mqsched.Ctx) {
+			rng := rand.New(rand.NewSource(int64(c)*31 + 7))
+			for q := 0; q < queriesEach; q++ {
+				zoom := []int64{2, 4, 4, 8}[rng.Intn(4)]
+				side := outputSide * zoom
+				if side > slideSide {
+					side = slideSide
+				}
+				span := slideSide - side
+				// Two hotspots shared by all clients.
+				hx := []int64{slideSide / 4, 3 * slideSide / 4}[rng.Intn(2)]
+				x0 := clamp(hx-side/2+int64(rng.NormFloat64()*1200), 0, span) / zoom * zoom
+				y0 := clamp(hx-side/2+int64(rng.NormFloat64()*1200), 0, span) / zoom * zoom
+				qm := mqsched.NewVMQuery("s", mqsched.R(x0, y0, x0+side, y0+side), zoom, mqsched.Subsample)
+				tk, err := sys.Submit(qm)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res := tk.Wait(ctx)
+				sum += res.ResponseTime()
+				n++
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return sum / time.Duration(n)
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module mqsched
+
+go 1.22

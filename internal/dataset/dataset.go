@@ -1,0 +1,158 @@
+// Package dataset describes the on-disk organization of the input data and
+// implements the index manager: "each slide is regularly partitioned into
+// data chunks, each of which is a rectangular subregion of the 2D image"
+// (paper §3). The index maps a query window to the chunk (page) identifiers
+// that intersect it — the index lookup step that also yields qinputsize.
+package dataset
+
+import (
+	"fmt"
+
+	"mqsched/internal/geom"
+)
+
+// Layout describes one dataset: a 2-D image of Width×Height pixels of
+// BytesPerPixel bytes, partitioned into square pages of PageSide×PageSide
+// pixels (the last row/column of pages may be ragged). Page indices are
+// row-major.
+type Layout struct {
+	Name          string
+	Width, Height int64 // base-resolution pixels
+	BytesPerPixel int64
+	PageSide      int64
+}
+
+// VMPageSide is the page edge so that a full square page holds just under
+// 64 KB of 3-byte pixels, matching the paper's 64 KB pages:
+// 147×147×3 = 64827 bytes.
+const VMPageSide = 147
+
+// New returns a layout, validating the dimensions.
+func New(name string, width, height, bytesPerPixel, pageSide int64) *Layout {
+	if width <= 0 || height <= 0 || bytesPerPixel <= 0 || pageSide <= 0 {
+		panic(fmt.Sprintf("dataset: invalid layout %q %dx%dx%d/%d", name, width, height, bytesPerPixel, pageSide))
+	}
+	return &Layout{Name: name, Width: width, Height: height, BytesPerPixel: bytesPerPixel, PageSide: pageSide}
+}
+
+// Bounds returns the full image rectangle.
+func (l *Layout) Bounds() geom.Rect { return geom.R(0, 0, l.Width, l.Height) }
+
+// PagesX returns the number of page columns.
+func (l *Layout) PagesX() int64 { return (l.Width + l.PageSide - 1) / l.PageSide }
+
+// PagesY returns the number of page rows.
+func (l *Layout) PagesY() int64 { return (l.Height + l.PageSide - 1) / l.PageSide }
+
+// NumPages returns the total number of pages.
+func (l *Layout) NumPages() int { return int(l.PagesX() * l.PagesY()) }
+
+// PageRect returns the pixel rectangle covered by page idx (clipped to the
+// image bounds for ragged edges).
+func (l *Layout) PageRect(idx int) geom.Rect {
+	px := l.PagesX()
+	row := int64(idx) / px
+	col := int64(idx) % px
+	r := geom.R(col*l.PageSide, row*l.PageSide, (col+1)*l.PageSide, (row+1)*l.PageSide)
+	return r.Intersect(l.Bounds())
+}
+
+// PageBytes returns the payload size of page idx in bytes.
+func (l *Layout) PageBytes(idx int) int64 {
+	return l.PageRect(idx).Area() * l.BytesPerPixel
+}
+
+// FullPageBytes returns the size of an interior (unclipped) page.
+func (l *Layout) FullPageBytes() int64 {
+	return l.PageSide * l.PageSide * l.BytesPerPixel
+}
+
+// TotalBytes returns the uncompressed dataset size.
+func (l *Layout) TotalBytes() int64 {
+	return l.Width * l.Height * l.BytesPerPixel
+}
+
+// PageAt returns the index of the page containing pixel (x, y), which must
+// be inside Bounds.
+func (l *Layout) PageAt(x, y int64) int {
+	if !l.Bounds().ContainsPoint(x, y) {
+		panic(fmt.Sprintf("dataset %q: PageAt(%d,%d) outside %v", l.Name, x, y, l.Bounds()))
+	}
+	return int((y/l.PageSide)*l.PagesX() + x/l.PageSide)
+}
+
+// PagesInRect is the index lookup: it returns the indices of every page
+// intersecting r (clipped to the image), in row-major (ascending) order —
+// the order that maximizes sequential access on the striped disk farm.
+func (l *Layout) PagesInRect(r geom.Rect) []int {
+	r = r.Intersect(l.Bounds())
+	if r.Empty() {
+		return nil
+	}
+	c0 := r.X0 / l.PageSide
+	c1 := (r.X1 - 1) / l.PageSide
+	r0 := r.Y0 / l.PageSide
+	r1 := (r.Y1 - 1) / l.PageSide
+	px := l.PagesX()
+	out := make([]int, 0, (c1-c0+1)*(r1-r0+1))
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			out = append(out, int(row*px+col))
+		}
+	}
+	return out
+}
+
+// InputBytes returns qinputsize for a window: the total payload of the pages
+// intersecting r. This is the execution-time estimate used by the SJF
+// ranking strategy.
+func (l *Layout) InputBytes(r geom.Rect) int64 {
+	r = r.Intersect(l.Bounds())
+	if r.Empty() {
+		return 0
+	}
+	// All interior pages have the same size; account ragged edges exactly.
+	var total int64
+	for _, idx := range l.PagesInRect(r) {
+		total += l.PageBytes(idx)
+	}
+	return total
+}
+
+// Table is the set of datasets registered with the server, by name.
+type Table struct {
+	byName map[string]*Layout
+	names  []string
+}
+
+// NewTable builds a table from layouts.
+func NewTable(layouts ...*Layout) *Table {
+	t := &Table{byName: map[string]*Layout{}}
+	for _, l := range layouts {
+		if _, dup := t.byName[l.Name]; dup {
+			panic(fmt.Sprintf("dataset: duplicate dataset %q", l.Name))
+		}
+		t.byName[l.Name] = l
+		t.names = append(t.names, l.Name)
+	}
+	return t
+}
+
+// Get returns the layout for name, or panics — a query for an unregistered
+// dataset is a programming error upstream.
+func (t *Table) Get(name string) *Layout {
+	l, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("dataset: unknown dataset %q", name))
+	}
+	return l
+}
+
+// Lookup returns the layout for name and whether it exists.
+func (t *Table) Lookup(name string) (*Layout, bool) {
+	l, ok := t.byName[name]
+	return l, ok
+}
+
+// Names returns the registered dataset names in registration order.
+func (t *Table) Names() []string { return t.names }

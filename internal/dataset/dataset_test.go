@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqsched/internal/geom"
+)
+
+func TestLayoutBasics(t *testing.T) {
+	l := New("d1", 1000, 600, 3, 100)
+	if l.PagesX() != 10 || l.PagesY() != 6 || l.NumPages() != 60 {
+		t.Fatalf("pages %dx%d total %d", l.PagesX(), l.PagesY(), l.NumPages())
+	}
+	if l.TotalBytes() != 1000*600*3 {
+		t.Fatalf("TotalBytes = %d", l.TotalBytes())
+	}
+	if l.FullPageBytes() != 100*100*3 {
+		t.Fatalf("FullPageBytes = %d", l.FullPageBytes())
+	}
+	if !l.Bounds().Eq(geom.R(0, 0, 1000, 600)) {
+		t.Fatalf("Bounds = %v", l.Bounds())
+	}
+}
+
+func TestRaggedEdges(t *testing.T) {
+	l := New("d", 250, 150, 3, 100)
+	if l.PagesX() != 3 || l.PagesY() != 2 {
+		t.Fatalf("pages %dx%d", l.PagesX(), l.PagesY())
+	}
+	// Page 2 is the top-right ragged page: 50 wide, 100 tall.
+	if got := l.PageRect(2); !got.Eq(geom.R(200, 0, 250, 100)) {
+		t.Fatalf("PageRect(2) = %v", got)
+	}
+	if got := l.PageBytes(2); got != 50*100*3 {
+		t.Fatalf("PageBytes(2) = %d", got)
+	}
+	// Bottom-right corner page: 50x50.
+	if got := l.PageRect(5); !got.Eq(geom.R(200, 100, 250, 150)) {
+		t.Fatalf("PageRect(5) = %v", got)
+	}
+	// Sum of all page bytes equals the dataset size.
+	var sum int64
+	for i := 0; i < l.NumPages(); i++ {
+		sum += l.PageBytes(i)
+	}
+	if sum != l.TotalBytes() {
+		t.Fatalf("page bytes sum %d != total %d", sum, l.TotalBytes())
+	}
+}
+
+func TestPageAt(t *testing.T) {
+	l := New("d", 1000, 600, 3, 100)
+	if got := l.PageAt(0, 0); got != 0 {
+		t.Fatalf("PageAt(0,0) = %d", got)
+	}
+	if got := l.PageAt(999, 599); got != 59 {
+		t.Fatalf("PageAt(999,599) = %d", got)
+	}
+	if got := l.PageAt(150, 250); got != 21 {
+		t.Fatalf("PageAt(150,250) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PageAt outside bounds should panic")
+		}
+	}()
+	l.PageAt(1000, 0)
+}
+
+func TestPagesInRect(t *testing.T) {
+	l := New("d", 1000, 600, 3, 100)
+	// A window within a single page.
+	got := l.PagesInRect(geom.R(10, 10, 20, 20))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-page window: %v", got)
+	}
+	// A window straddling a 2x2 page block.
+	got = l.PagesInRect(geom.R(150, 150, 250, 250))
+	want := []int{11, 12, 21, 22}
+	if len(got) != 4 {
+		t.Fatalf("2x2 window: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("2x2 window: %v, want %v", got, want)
+		}
+	}
+	// Windows outside the image clip to nothing.
+	if got := l.PagesInRect(geom.R(2000, 2000, 3000, 3000)); got != nil {
+		t.Fatalf("outside window: %v", got)
+	}
+	// Full-image window returns every page, ascending.
+	got = l.PagesInRect(l.Bounds())
+	if len(got) != 60 {
+		t.Fatalf("full window returned %d pages", len(got))
+	}
+	for i, p := range got {
+		if p != i {
+			t.Fatalf("pages not ascending: %v", got)
+		}
+	}
+}
+
+// Property: every returned page intersects the window; every non-returned
+// page does not; qinputsize equals the sum of returned page sizes.
+func TestPagesInRectProperty(t *testing.T) {
+	l := New("d", 730, 410, 3, 97) // deliberately ragged
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		x0, y0 := rng.Int63n(800)-20, rng.Int63n(450)-20
+		r := geom.R(x0, y0, x0+rng.Int63n(300)+1, y0+rng.Int63n(300)+1)
+		got := l.PagesInRect(r)
+		inSet := map[int]bool{}
+		var bytes int64
+		for _, p := range got {
+			inSet[p] = true
+			if !l.PageRect(p).Overlaps(r) {
+				t.Fatalf("page %d does not intersect %v", p, r)
+			}
+			bytes += l.PageBytes(p)
+		}
+		for p := 0; p < l.NumPages(); p++ {
+			if !inSet[p] && l.PageRect(p).Overlaps(r) {
+				t.Fatalf("page %d intersects %v but was not returned", p, r)
+			}
+		}
+		if got := l.InputBytes(r); got != bytes {
+			t.Fatalf("InputBytes = %d, want %d", got, bytes)
+		}
+	}
+}
+
+func TestVMPageSide(t *testing.T) {
+	// The paper's 64KB page: a square 3-byte-pixel page must fit in 64KB.
+	if VMPageSide*VMPageSide*3 > 64*1024 {
+		t.Fatalf("VM page %d bytes exceeds 64KB", VMPageSide*VMPageSide*3)
+	}
+	// And be nearly full (within 2%).
+	if VMPageSide*VMPageSide*3 < 63*1024 {
+		t.Fatalf("VM page only %d bytes", VMPageSide*VMPageSide*3)
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := New("a", 100, 100, 3, 10)
+	b := New("b", 200, 200, 3, 10)
+	tbl := NewTable(a, b)
+	if tbl.Get("a") != a || tbl.Get("b") != b {
+		t.Fatal("Get returned wrong layout")
+	}
+	if _, ok := tbl.Lookup("c"); ok {
+		t.Fatal("Lookup of unknown dataset succeeded")
+	}
+	if n := tbl.Names(); len(n) != 2 || n[0] != "a" || n[1] != "b" {
+		t.Fatalf("Names = %v", n)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Get of unknown dataset should panic")
+			}
+		}()
+		tbl.Get("zzz")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate dataset should panic")
+			}
+		}()
+		NewTable(a, a)
+	}()
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid layout should panic")
+		}
+	}()
+	New("bad", 0, 10, 3, 10)
+}

@@ -1,0 +1,286 @@
+// Package datastore implements the Data Store Manager (DS): "dynamic
+// storage space for intermediate data structures generated as partial or
+// final results for a query. The most important feature of the data store is
+// that it records semantic information about intermediate data structures.
+// This allows the use of intermediate results to answer queries later
+// submitted to the system" (paper §2).
+//
+// Insert is the malloc-with-meta-data operation; Lookup is the overlap-based
+// search the query server uses to find reusable results. Entries are evicted
+// least-recently-used when the byte budget is exceeded; an eviction fires
+// the OnEvict hook so the scheduler can move the corresponding query node to
+// SWAPPED OUT and drop it from the scheduling graph.
+package datastore
+
+import (
+	"sort"
+	"sync"
+
+	"mqsched/internal/query"
+	"mqsched/internal/spatial"
+)
+
+// Entry is a stored intermediate result with its semantic meta-data.
+type Entry struct {
+	ID   int64
+	Blob *query.Blob
+
+	m       *Manager
+	pins    int
+	evicted bool
+	// lastUse orders LRU eviction; it is a logical counter, not a clock, so
+	// behaviour is identical on the simulated and real runtimes.
+	lastUse int64
+}
+
+// Meta returns the predicate the stored result answers.
+func (e *Entry) Meta() query.Meta { return e.Blob.Meta }
+
+// Size returns the stored size in bytes.
+func (e *Entry) Size() int64 { return e.Blob.Size }
+
+// Unpin releases a pin taken by Lookup. The entry becomes evictable when its
+// pin count reaches zero.
+func (e *Entry) Unpin() {
+	e.m.mu.Lock()
+	defer e.m.mu.Unlock()
+	if e.pins <= 0 {
+		panic("datastore: Unpin without matching pin")
+	}
+	e.pins--
+}
+
+// Evicted reports whether the entry has been swapped out.
+func (e *Entry) Evicted() bool {
+	e.m.mu.Lock()
+	defer e.m.mu.Unlock()
+	return e.evicted
+}
+
+// Stats are cumulative DS counters.
+type Stats struct {
+	Inserts     int64
+	Rejected    int64 // results too large (or too pinned a cache) to store
+	Evictions   int64
+	Lookups     int64
+	LookupHits  int64 // lookups returning at least one candidate
+	BytesStored int64 // current resident bytes (gauge)
+}
+
+// Options configure the manager.
+type Options struct {
+	// Budget is the DS memory in bytes (the paper varies 32-128 MB).
+	// Default 64 MB.
+	Budget int64
+}
+
+// Manager is the data store manager.
+type Manager struct {
+	app  query.App
+	opts Options
+
+	// OnEvict, if set, is called (with the manager's lock held) whenever an
+	// entry is swapped out. The callback must not call back into the
+	// manager.
+	OnEvict func(*Entry)
+
+	mu      sync.Mutex
+	nextID  int64
+	useTick int64
+	used    int64
+	entries map[int64]*Entry
+	trees   map[string]*spatial.Tree[*Entry] // per-dataset spatial index
+	st      Stats
+}
+
+// New returns a data store for results of app.
+func New(app query.App, opts Options) *Manager {
+	if opts.Budget == 0 {
+		opts.Budget = 64 << 20
+	}
+	return &Manager{
+		app:     app,
+		opts:    opts,
+		entries: map[int64]*Entry{},
+		trees:   map[string]*spatial.Tree[*Entry]{},
+	}
+}
+
+// Budget returns the configured byte budget.
+func (m *Manager) Budget() int64 { return m.opts.Budget }
+
+// Used returns the bytes currently stored.
+func (m *Manager) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Len returns the number of stored entries.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.st
+	st.BytesStored = m.used
+	return st
+}
+
+// Insert stores blob, evicting older unpinned entries as needed, and returns
+// the new entry. It returns nil when the result cannot be stored (larger
+// than the whole budget, or the budget is fully pinned) — the query still
+// completes, its result just is not reusable.
+func (m *Manager) Insert(blob *query.Blob) *Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if blob.Size > m.opts.Budget {
+		m.st.Rejected++
+		return nil
+	}
+	if !m.makeRoomLocked(blob.Size) {
+		m.st.Rejected++
+		return nil
+	}
+	m.nextID++
+	m.useTick++
+	e := &Entry{ID: m.nextID, Blob: blob, m: m, lastUse: m.useTick}
+	m.entries[e.ID] = e
+	m.treeFor(blob.Meta.Dataset()).Insert(blob.Meta.Region(), e)
+	m.used += blob.Size
+	m.st.Inserts++
+	return e
+}
+
+// makeRoomLocked evicts LRU unpinned entries until size fits, reporting
+// success.
+func (m *Manager) makeRoomLocked(size int64) bool {
+	for m.used+size > m.opts.Budget {
+		victim := m.lruVictimLocked()
+		if victim == nil {
+			return false
+		}
+		m.evictLocked(victim)
+	}
+	return true
+}
+
+// lruVictimLocked returns the unpinned entry with the oldest use, or nil.
+func (m *Manager) lruVictimLocked() *Entry {
+	var victim *Entry
+	for _, e := range m.entries {
+		if e.pins > 0 {
+			continue
+		}
+		if victim == nil || e.lastUse < victim.lastUse ||
+			(e.lastUse == victim.lastUse && e.ID < victim.ID) {
+			victim = e
+		}
+	}
+	return victim
+}
+
+func (m *Manager) evictLocked(e *Entry) {
+	delete(m.entries, e.ID)
+	m.treeFor(e.Blob.Meta.Dataset()).Delete(e.Blob.Meta.Region(), e)
+	m.used -= e.Blob.Size
+	e.evicted = true
+	m.st.Evictions++
+	if m.OnEvict != nil {
+		m.OnEvict(e)
+	}
+}
+
+// Candidate is a lookup result: a stored entry and its overlap index with
+// the probe query.
+type Candidate struct {
+	Entry   *Entry
+	Overlap float64
+}
+
+// Lookup finds stored results usable for dst: entries on the same dataset
+// whose region intersects dst's and whose user-defined overlap (Equation 2)
+// is at least minOverlap (> 0). Results are pinned — the caller must Unpin
+// each one — and sorted by decreasing overlap, exact matches (Cmp) first.
+func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
+	if minOverlap <= 0 {
+		minOverlap = 1e-12
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st.Lookups++
+	tree, ok := m.trees[dst.Dataset()]
+	if !ok {
+		return nil
+	}
+	var out []Candidate
+	for _, e := range tree.Search(dst.Region(), nil) {
+		ov := m.app.Overlap(e.Blob.Meta, dst)
+		if ov < minOverlap {
+			continue
+		}
+		out = append(out, Candidate{Entry: e, Overlap: ov})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i], out[j]
+		ei := m.app.Cmp(ci.Entry.Blob.Meta, dst)
+		ej := m.app.Cmp(cj.Entry.Blob.Meta, dst)
+		if ei != ej {
+			return ei
+		}
+		if ci.Overlap != cj.Overlap {
+			return ci.Overlap > cj.Overlap
+		}
+		return ci.Entry.ID < cj.Entry.ID
+	})
+	m.useTick++
+	for _, c := range out {
+		c.Entry.pins++
+		c.Entry.lastUse = m.useTick
+	}
+	m.st.LookupHits++
+	return out
+}
+
+// Touch refreshes an entry's recency (used when a result is returned
+// directly to a client).
+func (m *Manager) Touch(e *Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !e.evicted {
+		m.useTick++
+		e.lastUse = m.useTick
+	}
+}
+
+// Drop removes an entry explicitly (e.g. an application-driven invalidation).
+// It is a no-op if the entry is already evicted; dropping a pinned entry
+// panics.
+func (m *Manager) Drop(e *Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.evicted {
+		return
+	}
+	if e.pins > 0 {
+		panic("datastore: Drop of pinned entry")
+	}
+	m.evictLocked(e)
+}
+
+func (m *Manager) treeFor(ds string) *spatial.Tree[*Entry] {
+	t, ok := m.trees[ds]
+	if !ok {
+		t = spatial.NewTree[*Entry]()
+		m.trees[ds] = t
+	}
+	return t
+}

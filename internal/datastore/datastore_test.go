@@ -1,0 +1,203 @@
+package datastore
+
+import (
+	"testing"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/geom"
+	"mqsched/internal/query"
+	"mqsched/internal/testapp"
+)
+
+func newRig(budget int64) (*Manager, *testapp.App) {
+	l := dataset.New("d", 1000, 1000, 1, 100)
+	app := testapp.New(dataset.NewTable(l))
+	return New(app, Options{Budget: budget}), app
+}
+
+func blob(app *testapp.App, r geom.Rect) *query.Blob {
+	m := testapp.Meta{DS: "d", Rect: r}
+	return &query.Blob{Meta: m, Size: app.QOutSize(m)}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	m, app := newRig(1 << 20)
+	e := m.Insert(blob(app, geom.R(0, 0, 100, 100)))
+	if e == nil {
+		t.Fatal("Insert returned nil")
+	}
+	if m.Len() != 1 || m.Used() != 100*100 {
+		t.Fatalf("Len=%d Used=%d", m.Len(), m.Used())
+	}
+
+	// Overlapping probe finds it, pinned.
+	cands := m.Lookup(testapp.Meta{DS: "d", Rect: geom.R(50, 50, 150, 150)}, 0)
+	if len(cands) != 1 {
+		t.Fatalf("Lookup found %d", len(cands))
+	}
+	if cands[0].Overlap != 0.25 {
+		t.Fatalf("overlap = %v, want 0.25", cands[0].Overlap)
+	}
+	cands[0].Entry.Unpin()
+
+	// Disjoint probe finds nothing.
+	if got := m.Lookup(testapp.Meta{DS: "d", Rect: geom.R(500, 500, 600, 600)}, 0); got != nil {
+		t.Fatalf("disjoint Lookup = %v", got)
+	}
+	// Unknown dataset finds nothing.
+	if got := m.Lookup(testapp.Meta{DS: "other", Rect: geom.R(0, 0, 10, 10)}, 0); got != nil {
+		t.Fatalf("unknown-ds Lookup = %v", got)
+	}
+}
+
+func TestLookupOrdering(t *testing.T) {
+	m, app := newRig(1 << 20)
+	m.Insert(blob(app, geom.R(0, 0, 60, 100)))  // covers 60%
+	m.Insert(blob(app, geom.R(0, 0, 100, 100))) // exact match
+	m.Insert(blob(app, geom.R(0, 0, 30, 100)))  // covers 30%
+	probe := testapp.Meta{DS: "d", Rect: geom.R(0, 0, 100, 100)}
+	cands := m.Lookup(probe, 0)
+	if len(cands) != 3 {
+		t.Fatalf("found %d", len(cands))
+	}
+	// Exact match first, then by decreasing overlap.
+	if !app.Cmp(cands[0].Entry.Meta(), probe) {
+		t.Fatalf("first candidate not the exact match: %v", cands[0].Entry.Meta())
+	}
+	if cands[1].Overlap < cands[2].Overlap {
+		t.Fatalf("candidates not sorted: %v then %v", cands[1].Overlap, cands[2].Overlap)
+	}
+	for _, c := range cands {
+		c.Entry.Unpin()
+	}
+}
+
+func TestMinOverlapFilter(t *testing.T) {
+	m, app := newRig(1 << 20)
+	m.Insert(blob(app, geom.R(0, 0, 10, 100))) // 10% of probe
+	probe := testapp.Meta{DS: "d", Rect: geom.R(0, 0, 100, 100)}
+	if got := m.Lookup(probe, 0.5); got != nil {
+		t.Fatalf("minOverlap filter failed: %v", got)
+	}
+	got := m.Lookup(probe, 0.05)
+	if len(got) != 1 {
+		t.Fatalf("minOverlap 0.05 found %d", len(got))
+	}
+	got[0].Entry.Unpin()
+}
+
+func TestLRUEvictionAndHook(t *testing.T) {
+	// Budget fits two 100x100 results.
+	m, app := newRig(2 * 100 * 100)
+	var evicted []*Entry
+	m.OnEvict = func(e *Entry) { evicted = append(evicted, e) }
+
+	e1 := m.Insert(blob(app, geom.R(0, 0, 100, 100)))
+	e2 := m.Insert(blob(app, geom.R(100, 0, 200, 100)))
+	// Touch e1 so e2 is LRU.
+	m.Touch(e1)
+	e3 := m.Insert(blob(app, geom.R(200, 0, 300, 100)))
+	if e3 == nil {
+		t.Fatal("third insert failed")
+	}
+	if len(evicted) != 1 || evicted[0] != e2 {
+		t.Fatalf("evicted %v, want e2", evicted)
+	}
+	if !e2.Evicted() || e1.Evicted() || e3.Evicted() {
+		t.Fatal("wrong eviction flags")
+	}
+	// The evicted entry no longer appears in lookups.
+	if got := m.Lookup(testapp.Meta{DS: "d", Rect: geom.R(100, 0, 200, 100)}, 0); got != nil {
+		t.Fatalf("evicted entry still found: %v", got)
+	}
+	if st := m.Stats(); st.Evictions != 1 || st.Inserts != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	m, app := newRig(2 * 100 * 100)
+	m.Insert(blob(app, geom.R(0, 0, 100, 100)))
+	m.Insert(blob(app, geom.R(100, 0, 200, 100)))
+	// Pin both via lookup.
+	cands := m.Lookup(testapp.Meta{DS: "d", Rect: geom.R(0, 0, 200, 100)}, 0)
+	if len(cands) != 2 {
+		t.Fatalf("found %d", len(cands))
+	}
+	// No room and nothing evictable: insert must be rejected.
+	if e := m.Insert(blob(app, geom.R(200, 0, 300, 100))); e != nil {
+		t.Fatal("insert should fail with everything pinned")
+	}
+	if st := m.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected = %d", st.Rejected)
+	}
+	// After unpinning, insertion evicts and succeeds.
+	for _, c := range cands {
+		c.Entry.Unpin()
+	}
+	if e := m.Insert(blob(app, geom.R(200, 0, 300, 100))); e == nil {
+		t.Fatal("insert should succeed after unpin")
+	}
+}
+
+func TestOversizedResultRejected(t *testing.T) {
+	m, app := newRig(100)
+	if e := m.Insert(blob(app, geom.R(0, 0, 100, 100))); e != nil {
+		t.Fatal("oversized insert should be rejected")
+	}
+	if st := m.Stats(); st.Rejected != 1 || st.Inserts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	m, app := newRig(1 << 20)
+	e := m.Insert(blob(app, geom.R(0, 0, 100, 100)))
+	m.Drop(e)
+	if m.Len() != 0 || !e.Evicted() {
+		t.Fatal("Drop did not evict")
+	}
+	m.Drop(e) // idempotent
+}
+
+func TestDropPinnedPanics(t *testing.T) {
+	m, app := newRig(1 << 20)
+	m.Insert(blob(app, geom.R(0, 0, 100, 100)))
+	cands := m.Lookup(testapp.Meta{DS: "d", Rect: geom.R(0, 0, 100, 100)}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Drop(cands[0].Entry)
+}
+
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	m, app := newRig(1 << 20)
+	e := m.Insert(blob(app, geom.R(0, 0, 100, 100)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Unpin()
+}
+
+func TestDefaultBudget(t *testing.T) {
+	m, _ := newRig(0)
+	if m.Budget() != 64<<20 {
+		t.Fatalf("default budget = %d", m.Budget())
+	}
+}
+
+func TestLookupStats(t *testing.T) {
+	m, app := newRig(1 << 20)
+	m.Insert(blob(app, geom.R(0, 0, 100, 100)))
+	m.Lookup(testapp.Meta{DS: "d", Rect: geom.R(500, 500, 510, 510)}, 0) // miss
+	c := m.Lookup(testapp.Meta{DS: "d", Rect: geom.R(0, 0, 10, 10)}, 0)  // hit
+	c[0].Entry.Unpin()
+	st := m.Stats()
+	if st.Lookups != 2 || st.LookupHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,228 @@
+// Package disk models the data sources: a farm of disks holding the
+// datasets' pages, striped round-robin. Service time per page is a
+// positioning cost plus transfer time; positioning is cheaper when the
+// request is near-sequential with the previous request served by the same
+// disk — this is what makes interleaved access streams from many concurrent
+// queries slower per page than a single scanning query, and it produces the
+// I/O saturation past the optimal thread count seen in Figure 4.
+//
+// Because each disk serves FCFS, the predecessor of a request in service
+// order is exactly the previously enqueued request on that disk, so the
+// positioning cost can be decided at enqueue time.
+package disk
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/rt"
+)
+
+// Config describes the farm.
+type Config struct {
+	// Disks is the number of independent spindles (default 4).
+	Disks int
+	// Seek is the positioning cost for a random access (default 5ms).
+	Seek time.Duration
+	// SeqSeek is the positioning cost when the request is near-sequential
+	// with the disk's previous request (default 800µs).
+	SeqSeek time.Duration
+	// BandwidthBps is the transfer rate in bytes/second (default 25 MB/s).
+	BandwidthBps int64
+	// SeqWindow is the maximum forward page-index distance (within one
+	// dataset) still counted as near-sequential. Striping places consecutive
+	// page indices on consecutive disks, so a scanning query advances a
+	// given disk's position by Disks indices per page. Default 2*Disks.
+	SeqWindow int
+	// ThrashPerStream scales non-sequential positioning by
+	// 1 + ThrashPerStream·(streams−1), where streams is the number of
+	// distinct requesters among the disk's recent requests. It models seek
+	// amplification when many concurrent query streams interleave on one
+	// spindle (the head bounces between their regions), which is what makes
+	// the I/O subsystem "unable to keep up" past the optimal thread count
+	// in the paper's Figure 4. Default 0.18; set negative to disable.
+	ThrashPerStream float64
+	// ThrashWindow is the number of recent requests per disk over which
+	// distinct requesters are counted (default 16).
+	ThrashWindow int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Disks == 0 {
+		c.Disks = 4
+	}
+	if c.Seek == 0 {
+		c.Seek = 5 * time.Millisecond
+	}
+	if c.SeqSeek == 0 {
+		c.SeqSeek = 800 * time.Microsecond
+	}
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = 25 << 20
+	}
+	if c.SeqWindow == 0 {
+		c.SeqWindow = 2 * c.Disks
+	}
+	if c.ThrashPerStream == 0 {
+		c.ThrashPerStream = 0.18
+	}
+	if c.ThrashPerStream < 0 {
+		c.ThrashPerStream = 0
+	}
+	if c.ThrashWindow == 0 {
+		c.ThrashWindow = 16
+	}
+	return c
+}
+
+// Generator produces the payload of a page on the real runtime. On the
+// synthetic runtime it is never called.
+type Generator func(l *dataset.Layout, page int) []byte
+
+// Stats are cumulative farm counters.
+type Stats struct {
+	Reads      int64
+	SeqReads   int64 // reads that paid the sequential positioning cost
+	BytesRead  int64
+	ServiceSum time.Duration // total service time across all reads
+}
+
+// Farm is a bank of disks.
+type Farm struct {
+	cfg      Config
+	stations []rt.Station
+	gen      Generator
+
+	mu     sync.Mutex
+	last   []map[string]int // per disk: dataset -> last enqueued page index
+	recent [][]string       // per disk: ring of recent requester names
+	rpos   []int
+	st     Stats
+}
+
+// NewFarm builds a farm on the given runtime. gen may be nil on the
+// synthetic runtime.
+func NewFarm(r rt.Runtime, cfg Config, gen Generator) *Farm {
+	cfg = cfg.withDefaults()
+	f := &Farm{cfg: cfg, gen: gen}
+	f.stations = make([]rt.Station, cfg.Disks)
+	f.last = make([]map[string]int, cfg.Disks)
+	f.recent = make([][]string, cfg.Disks)
+	f.rpos = make([]int, cfg.Disks)
+	for i := range f.stations {
+		f.stations[i] = r.NewStation(fmt.Sprintf("disk%d", i), 1)
+		f.last[i] = map[string]int{}
+		f.recent[i] = make([]string, 0, cfg.ThrashWindow)
+	}
+	return f
+}
+
+// Disks returns the number of spindles.
+func (f *Farm) Disks() int { return f.cfg.Disks }
+
+// DiskFor returns the spindle holding page of ds: striping is round-robin
+// by page index, with the dataset name hashed into the starting offset so
+// different datasets are spread across spindles.
+func (f *Farm) DiskFor(ds string, page int) int {
+	h := fnv.New32a()
+	h.Write([]byte(ds))
+	return (int(h.Sum32()%uint32(f.cfg.Disks)) + page) % f.cfg.Disks
+}
+
+// ServiceTime returns the modelled service time of a page read given its
+// payload size, whether it is near-sequential, and the number of distinct
+// query streams recently interleaved on the spindle.
+func (f *Farm) ServiceTime(bytes int64, sequential bool, streams int) time.Duration {
+	var pos time.Duration
+	if sequential {
+		pos = f.cfg.SeqSeek
+	} else {
+		pos = f.cfg.Seek
+		if streams > 1 {
+			pos = time.Duration(float64(pos) * (1 + f.cfg.ThrashPerStream*float64(streams-1)))
+		}
+	}
+	transfer := time.Duration(float64(bytes) / float64(f.cfg.BandwidthBps) * float64(time.Second))
+	return pos + transfer
+}
+
+// Read retrieves one page, blocking the calling process for queueing plus
+// service time at the page's disk. On the real runtime it returns the page
+// payload; on the synthetic runtime it returns nil.
+func (f *Farm) Read(ctx rt.Ctx, l *dataset.Layout, page int) []byte {
+	if page < 0 || page >= l.NumPages() {
+		panic(fmt.Sprintf("disk: page %d out of range for %q (%d pages)", page, l.Name, l.NumPages()))
+	}
+	d := f.DiskFor(l.Name, page)
+	bytes := l.PageBytes(page)
+
+	f.mu.Lock()
+	lastIdx, seen := f.last[d][l.Name]
+	seq := seen && page > lastIdx && page-lastIdx <= f.cfg.SeqWindow
+	f.last[d][l.Name] = page
+	streams := f.noteRequesterLocked(d, ctx.Name())
+	service := f.ServiceTime(bytes, seq, streams)
+	f.st.Reads++
+	if seq {
+		f.st.SeqReads++
+	}
+	f.st.BytesRead += bytes
+	f.st.ServiceSum += service
+	f.mu.Unlock()
+
+	f.stations[d].Serve(ctx, service)
+
+	if f.gen != nil && !ctx.Synthetic() {
+		return f.gen(l, page)
+	}
+	return nil
+}
+
+// noteRequesterLocked records the requester in the disk's recent-request
+// ring and returns the number of distinct requesters currently in it — the
+// stream-diversity estimate used for seek thrash.
+func (f *Farm) noteRequesterLocked(d int, name string) int {
+	ring := f.recent[d]
+	if len(ring) < f.cfg.ThrashWindow {
+		ring = append(ring, name)
+		f.recent[d] = ring
+	} else {
+		ring[f.rpos[d]] = name
+		f.rpos[d] = (f.rpos[d] + 1) % f.cfg.ThrashWindow
+	}
+	distinct := 0
+	for i, a := range ring {
+		dup := false
+		for _, b := range ring[:i] {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			distinct++
+		}
+	}
+	return distinct
+}
+
+// Stats returns a snapshot of the counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// Utilization returns the mean utilization across spindles (synthetic
+// runtime only; 0 otherwise).
+func (f *Farm) Utilization() float64 {
+	var sum float64
+	for _, s := range f.stations {
+		sum += s.Utilization()
+	}
+	return sum / float64(len(f.stations))
+}

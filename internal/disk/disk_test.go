@@ -1,0 +1,165 @@
+package disk
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/rt"
+	"mqsched/internal/sim"
+)
+
+func simFarm(cfg Config) (*sim.Engine, *rt.SimRuntime, *Farm) {
+	eng := sim.New()
+	r := rt.NewSim(eng, 8)
+	return eng, r, NewFarm(r, cfg, nil)
+}
+
+func TestDefaults(t *testing.T) {
+	_, _, f := simFarm(Config{})
+	if f.Disks() != 4 {
+		t.Fatalf("Disks = %d", f.Disks())
+	}
+	// 64KB-ish page at 25MB/s ≈ 2.47ms transfer + 5ms seek.
+	svc := f.ServiceTime(64827, false, 1)
+	if svc < 7*time.Millisecond || svc > 8*time.Millisecond {
+		t.Fatalf("random service = %v", svc)
+	}
+	seq := f.ServiceTime(64827, true, 1)
+	if seq >= svc || seq < 3*time.Millisecond {
+		t.Fatalf("sequential service = %v (random %v)", seq, svc)
+	}
+}
+
+func TestDiskForStriping(t *testing.T) {
+	_, _, f := simFarm(Config{Disks: 4})
+	base := f.DiskFor("ds", 0)
+	for p := 0; p < 16; p++ {
+		if got, want := f.DiskFor("ds", p), (base+p)%4; got != want {
+			t.Fatalf("DiskFor(%d) = %d, want %d", p, got, want)
+		}
+	}
+	// Deterministic.
+	if f.DiskFor("ds", 3) != f.DiskFor("ds", 3) {
+		t.Fatal("DiskFor not deterministic")
+	}
+}
+
+func TestSequentialDiscountForScan(t *testing.T) {
+	eng, r, f := simFarm(Config{Disks: 4})
+	l := dataset.New("d", 147*40, 147*40, 3, 147) // 1600 pages
+	r.Spawn("scan", func(ctx rt.Ctx) {
+		for p := 0; p < 100; p++ {
+			f.Read(ctx, l, p)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Reads != 100 {
+		t.Fatalf("Reads = %d", st.Reads)
+	}
+	// A scan strides each disk by 4 (= Disks), within SeqWindow: almost all
+	// reads after the first on each disk are sequential.
+	if st.SeqReads < 90 {
+		t.Fatalf("SeqReads = %d, want >= 90", st.SeqReads)
+	}
+	if st.BytesRead != 100*147*147*3 {
+		t.Fatalf("BytesRead = %d", st.BytesRead)
+	}
+}
+
+func TestInterleavedStreamsLoseSequentiality(t *testing.T) {
+	eng, r, f := simFarm(Config{Disks: 4})
+	l := dataset.New("d", 147*100, 147*100, 3, 147) // 10000 pages
+	// Two concurrent scans over distant regions interleave at the disks.
+	for i := 0; i < 2; i++ {
+		start := i * 5000
+		r.Spawn(fmt.Sprintf("scan%d", i), func(ctx rt.Ctx) {
+			for p := start; p < start+100; p++ {
+				f.Read(ctx, l, p)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	// Interleaving kills most of the sequential discount.
+	if st.SeqReads > st.Reads/2 {
+		t.Fatalf("SeqReads = %d of %d; interleaving should break sequentiality", st.SeqReads, st.Reads)
+	}
+}
+
+func TestFarmSerializesPerDisk(t *testing.T) {
+	eng, r, f := simFarm(Config{Disks: 1, Seek: 5 * time.Millisecond, SeqSeek: 5 * time.Millisecond, BandwidthBps: 1 << 30})
+	l := dataset.New("d", 1470, 147, 3, 147)
+	for i := 0; i < 3; i++ {
+		r.Spawn(fmt.Sprintf("q%d", i), func(ctx rt.Ctx) {
+			f.Read(ctx, l, 5)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Three ~5ms services on one spindle: ~15ms serialized.
+	if eng.Now() < 15*time.Millisecond {
+		t.Fatalf("makespan %v, want >= 15ms", eng.Now())
+	}
+	if u := f.Utilization(); u < 0.99 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestParallelAcrossDisks(t *testing.T) {
+	eng, r, f := simFarm(Config{Disks: 4, Seek: 5 * time.Millisecond, SeqSeek: 5 * time.Millisecond, BandwidthBps: 1 << 40})
+	l := dataset.New("d", 1470, 1470, 3, 147)
+	// Four reads hitting four distinct disks proceed in parallel.
+	base := f.DiskFor("d", 0)
+	_ = base
+	for i := 0; i < 4; i++ {
+		page := i // pages 0..3 land on distinct disks
+		r.Spawn(fmt.Sprintf("q%d", i), func(ctx rt.Ctx) {
+			f.Read(ctx, l, page)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() > 6*time.Millisecond {
+		t.Fatalf("makespan %v, want ~5ms (parallel disks)", eng.Now())
+	}
+}
+
+func TestGeneratorOnRealRuntime(t *testing.T) {
+	r := rt.NewReal(rt.RealOptions{TimeScale: 0.0001})
+	called := 0
+	gen := func(l *dataset.Layout, page int) []byte {
+		called++
+		return make([]byte, l.PageBytes(page))
+	}
+	f := NewFarm(r, Config{}, gen)
+	l := dataset.New("d", 294, 147, 3, 147)
+	var got []byte
+	r.Spawn("q", func(ctx rt.Ctx) {
+		got = f.Read(ctx, l, 1)
+	})
+	r.Wait()
+	if called != 1 || int64(len(got)) != l.PageBytes(1) {
+		t.Fatalf("generator called %d, got %d bytes", called, len(got))
+	}
+}
+
+func TestReadOutOfRangePanics(t *testing.T) {
+	eng, r, f := simFarm(Config{})
+	l := dataset.New("d", 147, 147, 3, 147)
+	r.Spawn("bad", func(ctx rt.Ctx) { f.Read(ctx, l, 1) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = eng.Run()
+}

@@ -1,0 +1,298 @@
+// Package experiment wires the full system together on the simulated
+// runtime and reproduces the paper's evaluation (§5): one Run per
+// configuration, plus a sweep function per table/figure. See DESIGN.md §5
+// for the experiment index and EXPERIMENTS.md for recorded results.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/datastore"
+	"mqsched/internal/disk"
+	"mqsched/internal/driver"
+	"mqsched/internal/monitor"
+	"mqsched/internal/pagespace"
+	"mqsched/internal/rt"
+	"mqsched/internal/sched"
+	"mqsched/internal/server"
+	"mqsched/internal/sim"
+	"mqsched/internal/stats"
+	"mqsched/internal/vm"
+)
+
+// Config is one simulated run of the full system.
+type Config struct {
+	// Policy is the ranking strategy name: fifo, muf, ff, cf, cnbf, sjf.
+	Policy string
+	// CFAlpha is the α used when Policy == "cf" (default 0.2, the paper's
+	// setting).
+	CFAlpha float64
+	// Op selects the VM implementation: Subsample (I/O-intensive) or
+	// Average (balanced).
+	Op vm.Op
+	// Threads is the query-thread pool size (default 4).
+	Threads int
+	// CPUs is the number of processors of the simulated SMP (default 24).
+	CPUs int
+	// Disks is the number of spindles in the disk farm (default 4).
+	Disks int
+	// DSBudget is the data store memory (default 64 MB); -1 disables the
+	// data store entirely (the caching-off baseline).
+	DSBudget int64
+	// PSBudget is the page space memory (default 32 MB).
+	PSBudget int64
+	// Batch submits all queries at once (Figure 7); otherwise clients are
+	// interactive (Figures 4-6).
+	Batch bool
+	// BlockOnExecuting lets queries stall on overlapping EXECUTING
+	// producers (default true; ablation A3 sets it false).
+	BlockOnExecuting bool
+	// NoBlockSet marks BlockOnExecuting as explicitly configured.
+	NoBlockSet bool
+	// DisablePSDedup turns off in-flight I/O duplicate elimination
+	// (ablation A2).
+	DisablePSDedup bool
+	// Clients / QueriesPerClient scale the workload (defaults 16 × 16, the
+	// paper's 256 queries).
+	Clients          int
+	QueriesPerClient int
+	// Seed drives workload generation.
+	Seed int64
+	// SlideSide overrides the dataset edge (default 30000 pixels).
+	SlideSide int64
+	// CombinedBeta is the SJF weight when Policy == "combined" (default
+	// 0.5).
+	CombinedBeta float64
+	// MonitorInterval, when positive, samples disk/CPU utilization and
+	// queue length on the virtual clock every interval; the rendered
+	// sparklines land in Metrics.MonitorReport.
+	MonitorInterval time.Duration
+	// PrefetchDepth enables chunk read-ahead in the VM application
+	// (ablation A4; 0 = the paper's synchronous reads).
+	PrefetchDepth int
+	// Mode selects the client browsing pattern (experiment X2; default the
+	// paper's hotspot browse).
+	Mode driver.Mode
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "fifo"
+	}
+	if c.CFAlpha == 0 {
+		c.CFAlpha = 0.2
+	}
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 24
+	}
+	if c.Disks == 0 {
+		c.Disks = 4
+	}
+	if c.DSBudget == 0 {
+		c.DSBudget = 64 << 20
+	}
+	if c.PSBudget == 0 {
+		c.PSBudget = 32 << 20
+	}
+	if c.Clients == 0 {
+		c.Clients = 16
+	}
+	if c.QueriesPerClient == 0 {
+		c.QueriesPerClient = 16
+	}
+	if !c.NoBlockSet {
+		c.BlockOnExecuting = true
+	}
+	if c.CombinedBeta == 0 {
+		c.CombinedBeta = 0.5
+	}
+	if c.SlideSide == 0 {
+		c.SlideSide = 30000
+	}
+	return c
+}
+
+// Metrics summarize one run.
+type Metrics struct {
+	Config Config
+	Policy string
+
+	// Response-time statistics in seconds (the paper's Figures 4 and 6 use
+	// the 95%-trimmed mean of waiting + execution time).
+	TrimmedResponse float64
+	MeanResponse    float64
+	MeanWait        float64
+	MeanExec        float64
+
+	// AvgOverlap is the mean per-query reused fraction (Figure 5).
+	AvgOverlap float64
+	// Makespan is the total execution time of the workload in seconds
+	// (Figure 7 for batches).
+	Makespan float64
+
+	// Resource accounting.
+	CPUBusySeconds  float64
+	DiskBusySeconds float64
+	CPUToIORatio    float64
+	DiskUtilization float64
+
+	// Subsystem counters.
+	Server    server.Stats
+	Disk      disk.Stats
+	PageSpace pagespace.Stats
+	DataStore datastore.Stats
+	Graph     sched.GraphStats
+
+	Queries int
+
+	// MonitorReport holds utilization sparklines when
+	// Config.MonitorInterval was set.
+	MonitorReport string
+}
+
+// Run executes one configuration to completion on the simulated runtime,
+// generating the workload from the configuration.
+func Run(cfg Config) (Metrics, error) {
+	return RunWorkload(cfg, nil)
+}
+
+// RunWorkload is Run with an explicit workload (per-client query lists,
+// e.g. loaded with driver.LoadWorkload); pass nil to generate from cfg.
+func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
+	cfg = cfg.withDefaults()
+
+	eng := sim.New()
+	rtm := rt.NewSim(eng, cfg.CPUs)
+	table := dataset.NewTable(
+		vm.NewSlide("slide1", cfg.SlideSide, cfg.SlideSide),
+		vm.NewSlide("slide2", cfg.SlideSide, cfg.SlideSide),
+		vm.NewSlide("slide3", cfg.SlideSide, cfg.SlideSide),
+	)
+	app := vm.New(table)
+	app.PrefetchDepth = cfg.PrefetchDepth
+	farm := disk.NewFarm(rtm, disk.Config{Disks: cfg.Disks}, nil)
+	ps := pagespace.New(rtm, table, farm, pagespace.Options{
+		Budget:       cfg.PSBudget,
+		DisableDedup: cfg.DisablePSDedup,
+	})
+	var ds *datastore.Manager
+	if cfg.DSBudget >= 0 {
+		ds = datastore.New(app, datastore.Options{Budget: cfg.DSBudget})
+	}
+	policy, ok := sched.ByName(cfg.Policy, app)
+	switch {
+	case ok && cfg.Policy == "cf":
+		policy = sched.CF{Alpha: cfg.CFAlpha}
+	case !ok && cfg.Policy == "combined":
+		policy = sched.Combined{App: app, Beta: cfg.CombinedBeta}
+	case !ok && cfg.Policy == "autotune":
+		policy = sched.NewAutoTune(sched.AllPolicies(app), 0, 0)
+	case !ok && cfg.Policy == "ra":
+		policy = sched.ResourceAware{
+			App: app,
+			CPU: app,
+			Probe: func() (float64, float64) {
+				return rtm.CPUUtilization(), farm.Utilization()
+			},
+		}
+	case !ok:
+		return Metrics{}, fmt.Errorf("experiment: unknown policy %q", cfg.Policy)
+	}
+	graph := sched.New(rtm, app, policy)
+	srv := server.New(rtm, app, graph, ds, ps, server.Options{
+		Threads:          cfg.Threads,
+		BlockOnExecuting: cfg.BlockOnExecuting,
+	})
+
+	var mon *monitor.Monitor
+	launchOpts := driver.LaunchOpts{Batch: cfg.Batch}
+	if cfg.MonitorInterval > 0 {
+		iv := cfg.MonitorInterval
+		mon = monitor.Start(rtm, iv, []monitor.Probe{
+			monitor.Windowed("disk util", func() float64 {
+				return farm.Utilization() * eng.Now().Seconds()
+			}, iv),
+			monitor.Windowed("cpu util", func() float64 {
+				return rtm.CPUUtilization() * eng.Now().Seconds()
+			}, iv),
+			{Name: "waiting", F: func() float64 { return float64(graph.WaitingCount()) }},
+		})
+		launchOpts.OnAllDone = mon.Stop
+	}
+
+	if queries == nil {
+		queries = driver.Generate(driver.WorkloadConfig{
+			Clients:          cfg.Clients,
+			QueriesPerClient: cfg.QueriesPerClient,
+			Op:               cfg.Op,
+			Seed:             cfg.Seed,
+			Mode:             cfg.Mode,
+		}, table)
+	}
+	col := driver.Launch(rtm, srv, queries, launchOpts)
+
+	if err := eng.Run(); err != nil {
+		return Metrics{}, fmt.Errorf("experiment %v: %w", cfg.Policy, err)
+	}
+	if errs := col.Errs(); len(errs) > 0 {
+		return Metrics{}, fmt.Errorf("experiment: %d submit errors, first: %v", len(errs), errs[0])
+	}
+
+	results := col.Results()
+	resp := make([]float64, 0, len(results))
+	wait := make([]float64, 0, len(results))
+	exec := make([]float64, 0, len(results))
+	var overlapSum float64
+	for _, r := range results {
+		resp = append(resp, r.ResponseTime().Seconds())
+		wait = append(wait, r.WaitTime().Seconds())
+		exec = append(exec, r.ExecTime().Seconds())
+		overlapSum += r.ReusedFrac
+	}
+
+	makespan := col.Makespan().Seconds()
+	cpuBusy := rtm.CPUUtilization() * float64(cfg.CPUs) * eng.Now().Seconds()
+	diskBusy := farm.Stats().ServiceSum.Seconds()
+	ratio := 0.0
+	if diskBusy > 0 {
+		ratio = cpuBusy / diskBusy
+	}
+
+	m := Metrics{
+		Config:          cfg,
+		Policy:          policy.Name(),
+		TrimmedResponse: stats.TrimmedMean95(resp),
+		MeanResponse:    stats.Mean(resp),
+		MeanWait:        stats.Mean(wait),
+		MeanExec:        stats.Mean(exec),
+		AvgOverlap:      overlapSum / float64(max(len(results), 1)),
+		Makespan:        makespan,
+		CPUBusySeconds:  cpuBusy,
+		DiskBusySeconds: diskBusy,
+		CPUToIORatio:    ratio,
+		DiskUtilization: farm.Utilization(),
+		Server:          srv.Stats(),
+		Disk:            farm.Stats(),
+		PageSpace:       ps.Stats(),
+		Graph:           graph.Stats(),
+		Queries:         len(results),
+	}
+	if ds != nil {
+		m.DataStore = ds.Stats()
+	}
+	if mon != nil {
+		m.MonitorReport = mon.Report(72)
+	}
+	return m, nil
+}
+
+// Policies is the paper's presentation order.
+var Policies = []string{"fifo", "muf", "ff", "cf", "cnbf", "sjf"}
+
+// MB is a byte-count helper for budgets.
+const MB = int64(1) << 20

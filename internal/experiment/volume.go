@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/datastore"
+	"mqsched/internal/disk"
+	"mqsched/internal/driver"
+	"mqsched/internal/geom"
+	"mqsched/internal/pagespace"
+	"mqsched/internal/rt"
+	"mqsched/internal/sched"
+	"mqsched/internal/server"
+	"mqsched/internal/sim"
+	"mqsched/internal/stats"
+	"mqsched/internal/vol"
+)
+
+// VolumeComparison (V1) runs the future-work 3-D visualization application
+// (internal/vol) under each ranking strategy: emulated analysts render MIP
+// slabs of shared volumes at mixed magnifications. It demonstrates that the
+// scheduling model is application-independent — the same graph, data store
+// and policies run unchanged on a different operator set.
+func VolumeComparison(base Config) (Table, error) {
+	base = base.withDefaults()
+	t := Table{
+		Title:  "V1: ranking strategies on the 3-D volume visualization app (future work §6)",
+		Header: []string{"policy", "trimmed response (s)", "avg overlap", "makespan (s)"},
+		Notes: []string{
+			fmt.Sprintf("maximum-intensity projections of slabs of two 8192x8192x64 volumes, %d clients x %d queries",
+				base.Clients, base.QueriesPerClient),
+		},
+	}
+	for _, pol := range Policies {
+		m, err := runVolume(base, pol)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(policyLabel(pol), m.TrimmedResponse, m.AvgOverlap, m.Makespan)
+	}
+	return t, nil
+}
+
+// runVolume wires the vol app onto the simulated middleware and drives an
+// analyst workload.
+func runVolume(cfg Config, policyName string) (Metrics, error) {
+	eng := sim.New()
+	rtm := rt.NewSim(eng, cfg.CPUs)
+
+	app := vol.New()
+	dims := vol.Dims{Width: 8192, Height: 8192, Depth: 64}
+	layouts := []*dataset.Layout{
+		app.Add("vol1", dims),
+		app.Add("vol2", dims),
+	}
+	table := dataset.NewTable(layouts...)
+	app.Finish(table)
+
+	farm := disk.NewFarm(rtm, disk.Config{Disks: cfg.Disks}, nil)
+	ps := pagespace.New(rtm, table, farm, pagespace.Options{Budget: cfg.PSBudget})
+	ds := datastore.New(app, datastore.Options{Budget: cfg.DSBudget})
+	policy, ok := sched.ByName(policyName, app)
+	if !ok {
+		return Metrics{}, fmt.Errorf("experiment: unknown policy %q", policyName)
+	}
+	graph := sched.New(rtm, app, policy)
+	srv := server.New(rtm, app, graph, ds, ps, server.Options{
+		Threads:          cfg.Threads,
+		BlockOnExecuting: cfg.BlockOnExecuting,
+	})
+
+	queries := volumeWorkload(dims, cfg.Seed, cfg.Clients, cfg.QueriesPerClient)
+	col := launchVolume(rtm, srv, queries)
+	if err := eng.Run(); err != nil {
+		return Metrics{}, fmt.Errorf("experiment v1 %s: %w", policyName, err)
+	}
+	if errs := col.Errs(); len(errs) > 0 {
+		return Metrics{}, errs[0]
+	}
+
+	results := col.Results()
+	resp := make([]float64, 0, len(results))
+	var overlapSum float64
+	for _, r := range results {
+		resp = append(resp, r.ResponseTime().Seconds())
+		overlapSum += r.ReusedFrac
+	}
+	return Metrics{
+		Policy:          policy.Name(),
+		TrimmedResponse: stats.TrimmedMean95(resp),
+		AvgOverlap:      overlapSum / float64(max(len(results), 1)),
+		Makespan:        col.Makespan().Seconds(),
+		Queries:         len(results),
+		Server:          srv.Stats(),
+		Disk:            farm.Stats(),
+	}, nil
+}
+
+// volumeWorkload emulates analysts rendering MIP slabs around shared foci:
+// mixed zooms {2,4,8}, alternating full-volume and focused slabs.
+func volumeWorkload(dims vol.Dims, seed int64, clients, perClient int) [][]vol.Meta {
+	names := []string{"vol1", "vol2"}
+	out := make([][]vol.Meta, clients)
+	for c := 0; c < clients; c++ {
+		rng := rand.New(rand.NewSource(seed + int64(c)*131 + 17))
+		ds := names[c%len(names)]
+		// Shared focus per volume plus per-client jitter.
+		fx := dims.Width/2 + int64(rng.NormFloat64()*600)
+		fy := dims.Height/2 + int64(rng.NormFloat64()*600)
+		for q := 0; q < perClient; q++ {
+			zoom := []int64{2, 4, 8}[rng.Intn(3)]
+			side := int64(512) * zoom
+			if side > dims.Width {
+				side = dims.Width
+			}
+			x0 := clampI64(fx-side/2, 0, dims.Width-side) / zoom * zoom
+			y0 := clampI64(fy-side/2, 0, dims.Height-side) / zoom * zoom
+			// Alternate between the full stack and a focused half-slab.
+			z0, z1 := 0, dims.Depth
+			if q%2 == 1 {
+				z0, z1 = dims.Depth/4, 3*dims.Depth/4
+			}
+			w := geom.R(x0, y0, x0+side, y0+side)
+			out[c] = append(out[c], vol.NewMeta(ds, dims, w, z0, z1, zoom, vol.MIP))
+		}
+	}
+	return out
+}
+
+// launchVolume mirrors driver.Launch for vol.Meta queries (the driver is
+// typed for the VM application).
+func launchVolume(rtm rt.Runtime, srv *server.Server, queries [][]vol.Meta) *driver.Collector {
+	col := driver.NewCollector(rtm.Now())
+	remaining := len(queries)
+	done := rtm.NewGate("volume clients done")
+	for i := range queries {
+		i := i
+		rtm.Spawn(fmt.Sprintf("analyst-%d", i), func(ctx rt.Ctx) {
+			for _, m := range queries[i] {
+				tk, err := srv.Submit(m)
+				if err != nil {
+					col.Fail(err)
+					break
+				}
+				col.Add(tk.Wait(ctx))
+				ctx.Sleep(500 * time.Millisecond)
+			}
+			remaining--
+			if remaining == 0 {
+				done.Open()
+			}
+		})
+	}
+	rtm.Spawn("closer", func(ctx rt.Ctx) {
+		done.Wait(ctx)
+		srv.Close()
+	})
+	return col
+}
+
+func clampI64(v, lo, hi int64) int64 {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,41 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"mqsched/internal/geom"
+)
+
+// Sub decomposes a rectangle difference into at most four disjoint bands —
+// the primitive behind sub-query generation.
+func ExampleRect_Sub() {
+	window := geom.R(0, 0, 10, 10)
+	cached := geom.R(2, 2, 8, 8)
+	for _, piece := range window.Sub(cached) {
+		fmt.Println(piece)
+	}
+	// Output:
+	// [0,10)x[0,2)
+	// [0,10)x[8,10)
+	// [0,2)x[2,8)
+	// [8,10)x[2,8)
+}
+
+// Uncovered returns the parts of a query window that no cached result
+// covers: each rectangle becomes one sub-query.
+func ExampleUncovered() {
+	window := geom.R(0, 0, 100, 100)
+	cached := []geom.Rect{geom.R(0, 0, 100, 40), geom.R(0, 60, 100, 100)}
+	fmt.Println(geom.Uncovered(window, cached))
+	// Output:
+	// [[0,100)x[40,60)]
+}
+
+// Scale maps a base-resolution region onto a coarser output grid (covering
+// semantics); ScaleInner keeps only fully-derivable cells.
+func ExampleRect_Scale() {
+	r := geom.R(1, 1, 11, 11)
+	fmt.Println(r.Scale(4), r.ScaleInner(4))
+	// Output:
+	// [0,3)x[0,3) [1,2)x[1,2)
+}

@@ -1,0 +1,304 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want bool
+	}{
+		{R(0, 0, 1, 1), false},
+		{R(0, 0, 0, 1), true},
+		{R(0, 0, 1, 0), true},
+		{R(5, 5, 4, 6), true},
+		{R(-3, -3, -1, -1), false},
+		{Rect{}, true},
+	}
+	for _, c := range cases {
+		if got := c.r.Empty(); got != c.want {
+			t.Errorf("%v.Empty() = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestAreaAndDims(t *testing.T) {
+	r := R(2, 3, 10, 7)
+	if r.Dx() != 8 || r.Dy() != 4 || r.Area() != 32 {
+		t.Fatalf("got Dx=%d Dy=%d Area=%d", r.Dx(), r.Dy(), r.Area())
+	}
+	e := R(5, 5, 5, 9)
+	if e.Dx() != 0 || e.Dy() != 4 || e.Area() != 0 {
+		t.Fatalf("empty rect dims: Dx=%d Dy=%d Area=%d", e.Dx(), e.Dy(), e.Area())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want Rect
+	}{
+		{R(0, 0, 10, 10), R(5, 5, 15, 15), R(5, 5, 10, 10)},
+		{R(0, 0, 10, 10), R(10, 0, 20, 10), Rect{}}, // touching edges do not overlap
+		{R(0, 0, 10, 10), R(2, 2, 4, 4), R(2, 2, 4, 4)},
+		{R(0, 0, 10, 10), R(20, 20, 30, 30), Rect{}},
+		{R(-5, -5, 5, 5), R(-1, -1, 1, 1), R(-1, -1, 1, 1)},
+	}
+	for _, c := range cases {
+		got := c.a.Intersect(c.b)
+		if !got.Eq(c.want) {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Intersection is symmetric.
+		if got2 := c.b.Intersect(c.a); !got2.Eq(got) {
+			t.Errorf("intersection not symmetric: %v vs %v", got, got2)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	outer := R(0, 0, 100, 100)
+	if !outer.Contains(R(0, 0, 100, 100)) {
+		t.Error("rect should contain itself")
+	}
+	if !outer.Contains(R(10, 10, 20, 20)) {
+		t.Error("rect should contain inner rect")
+	}
+	if outer.Contains(R(90, 90, 101, 100)) {
+		t.Error("rect should not contain overhanging rect")
+	}
+	if !outer.Contains(Rect{}) {
+		t.Error("everything contains the empty rect")
+	}
+	if (Rect{}).Contains(R(0, 0, 1, 1)) {
+		t.Error("empty rect contains nothing non-empty")
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	if !r.ContainsPoint(2, 2) || !r.ContainsPoint(3, 3) {
+		t.Error("lower-inclusive corner/interior must be contained")
+	}
+	if r.ContainsPoint(4, 4) || r.ContainsPoint(2, 4) || r.ContainsPoint(4, 2) {
+		t.Error("upper-exclusive boundary must not be contained")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := R(0, 0, 2, 2), R(5, 5, 6, 6)
+	if got := a.Union(b); !got.Eq(R(0, 0, 6, 6)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Union(Rect{}); !got.Eq(a) {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := (Rect{}).Union(b); !got.Eq(b) {
+		t.Errorf("empty Union = %v", got)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	r := R(1, 2, 3, 4).Translate(10, -2)
+	if !r.Eq(R(11, 0, 13, 2)) {
+		t.Errorf("Translate = %v", r)
+	}
+	if !(Rect{}).Translate(5, 5).Empty() {
+		t.Error("translating empty stays empty")
+	}
+}
+
+func TestScaleMul(t *testing.T) {
+	// Scale covers the coarsened image of r.
+	r := R(0, 0, 10, 10)
+	if got := r.Scale(4); !got.Eq(R(0, 0, 3, 3)) {
+		t.Errorf("Scale(4) = %v", got)
+	}
+	if got := R(4, 4, 8, 8).Scale(4); !got.Eq(R(1, 1, 2, 2)) {
+		t.Errorf("aligned Scale(4) = %v", got)
+	}
+	if got := R(-5, -5, 5, 5).Scale(4); !got.Eq(R(-2, -2, 2, 2)) {
+		t.Errorf("negative Scale(4) = %v", got)
+	}
+	if got := R(1, 1, 2, 2).Mul(4); !got.Eq(R(4, 4, 8, 8)) {
+		t.Errorf("Mul(4) = %v", got)
+	}
+	// Scale(Mul(r)) is the identity on any rect.
+	for _, r := range []Rect{R(0, 0, 7, 3), R(-9, 5, 11, 6)} {
+		if got := r.Mul(3).Scale(3); !got.Eq(r) {
+			t.Errorf("Scale(Mul(%v)) = %v", r, got)
+		}
+	}
+}
+
+func TestScaleInner(t *testing.T) {
+	// Aligned rect: inner == outer.
+	if got := R(4, 4, 12, 12).ScaleInner(4); !got.Eq(R(1, 1, 3, 3)) {
+		t.Errorf("aligned ScaleInner = %v", got)
+	}
+	// Misaligned rect shrinks to fully-covered cells.
+	if got := R(1, 1, 11, 11).ScaleInner(4); !got.Eq(R(1, 1, 2, 2)) {
+		t.Errorf("misaligned ScaleInner = %v", got)
+	}
+	// Too small to cover any cell: empty.
+	if got := R(1, 1, 3, 3).ScaleInner(4); !got.Empty() {
+		t.Errorf("tiny ScaleInner = %v", got)
+	}
+	// ScaleInner result's preimage is inside r; Scale's covers r.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		r := randRect(rng, 64)
+		f := rng.Int63n(7) + 1
+		inner := r.ScaleInner(f)
+		if !inner.Empty() && !r.Contains(inner.Mul(f)) {
+			t.Fatalf("ScaleInner(%v, %d) = %v escapes", r, f, inner)
+		}
+		outer := r.Scale(f)
+		if !outer.Mul(f).Contains(r) {
+			t.Fatalf("Scale(%v, %d) = %v does not cover", r, f, outer)
+		}
+		if !outer.Contains(inner) {
+			t.Fatalf("inner %v not within outer %v", inner, outer)
+		}
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) should panic")
+		}
+	}()
+	R(0, 0, 1, 1).Scale(0)
+}
+
+func TestSub(t *testing.T) {
+	r := R(0, 0, 10, 10)
+
+	// Subtracting a non-overlapping rect returns r intact.
+	got := r.Sub(R(20, 20, 30, 30))
+	if len(got) != 1 || !got[0].Eq(r) {
+		t.Fatalf("Sub(disjoint) = %v", got)
+	}
+
+	// Subtracting a covering rect leaves nothing.
+	if got := r.Sub(R(-1, -1, 11, 11)); len(got) != 0 {
+		t.Fatalf("Sub(cover) = %v", got)
+	}
+
+	// Subtracting an interior rect leaves four pieces whose area matches.
+	got = r.Sub(R(2, 2, 4, 4))
+	if len(got) != 4 {
+		t.Fatalf("Sub(interior) produced %d pieces", len(got))
+	}
+	checkDecomposition(t, r, R(2, 2, 4, 4), got)
+
+	// Corner overlap leaves two pieces.
+	got = r.Sub(R(5, 5, 15, 15))
+	if len(got) != 2 {
+		t.Fatalf("Sub(corner) produced %d pieces: %v", len(got), got)
+	}
+	checkDecomposition(t, r, R(5, 5, 15, 15), got)
+}
+
+// checkDecomposition verifies pieces are disjoint, inside r, avoid s, and
+// together with r∩s cover exactly r.
+func checkDecomposition(t *testing.T, r, s Rect, pieces []Rect) {
+	t.Helper()
+	var area int64
+	for i, p := range pieces {
+		if p.Empty() {
+			t.Errorf("piece %d empty", i)
+		}
+		if !r.Contains(p) {
+			t.Errorf("piece %v outside %v", p, r)
+		}
+		if p.Overlaps(s) {
+			t.Errorf("piece %v overlaps subtracted %v", p, s)
+		}
+		for j := i + 1; j < len(pieces); j++ {
+			if p.Overlaps(pieces[j]) {
+				t.Errorf("pieces %v and %v overlap", p, pieces[j])
+			}
+		}
+		area += p.Area()
+	}
+	if want := r.Area() - r.Intersect(s).Area(); area != want {
+		t.Errorf("piece area %d, want %d", area, want)
+	}
+}
+
+func randRect(rng *rand.Rand, span int64) Rect {
+	x0 := rng.Int63n(span) - span/2
+	y0 := rng.Int63n(span) - span/2
+	return R(x0, y0, x0+rng.Int63n(span/2)+1, y0+rng.Int63n(span/2)+1)
+}
+
+// Property: Sub produces disjoint pieces that exactly tile r minus s.
+func TestSubProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		r := randRect(rng, 100)
+		s := randRect(rng, 100)
+		checkDecomposition(t, r, s, r.Sub(s))
+	}
+}
+
+// Property: intersection area is monotone and bounded.
+func TestIntersectProperty(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh int16) bool {
+		a := R(int64(ax0), int64(ay0), int64(ax0)+int64(abs16(aw)), int64(ay0)+int64(abs16(ah)))
+		b := R(int64(bx0), int64(by0), int64(bx0)+int64(abs16(bw)), int64(by0)+int64(abs16(bh)))
+		in := a.Intersect(b)
+		if in.Area() > a.Area() || in.Area() > b.Area() {
+			return false
+		}
+		if !a.Contains(in) || !b.Contains(in) {
+			return false
+		}
+		return in.Eq(b.Intersect(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs16(v int16) int16 {
+	if v < 0 {
+		if v == -32768 {
+			return 32767
+		}
+		return -v
+	}
+	return v
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b, floor, ceil int64
+	}{
+		{7, 2, 3, 4},
+		{8, 2, 4, 4},
+		{-7, 2, -4, -3},
+		{-8, 2, -4, -4},
+		{0, 3, 0, 0},
+		{1, 3, 0, 1},
+		{-1, 3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := R(0, 1, 2, 3).String(); s == "" {
+		t.Error("String should not be empty")
+	}
+}

@@ -1,0 +1,240 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRegionBasics(t *testing.T) {
+	g := NewRegion(R(0, 0, 10, 10))
+	if g.Empty() || g.Area() != 100 {
+		t.Fatalf("initial region: empty=%v area=%d", g.Empty(), g.Area())
+	}
+	g.Subtract(R(0, 0, 10, 5))
+	if g.Area() != 50 {
+		t.Fatalf("after subtract area=%d", g.Area())
+	}
+	g.Subtract(R(0, 5, 10, 10))
+	if !g.Empty() {
+		t.Fatalf("region should be empty, has %v", g.Rects())
+	}
+	if !EmptyRegion().Empty() {
+		t.Fatal("EmptyRegion not empty")
+	}
+	if !NewRegion(Rect{}).Empty() {
+		t.Fatal("NewRegion(empty) not empty")
+	}
+}
+
+func TestRegionAddIdempotent(t *testing.T) {
+	g := EmptyRegion()
+	g.Add(R(0, 0, 4, 4))
+	g.Add(R(0, 0, 4, 4)) // duplicate must not double-count
+	if g.Area() != 16 {
+		t.Fatalf("area=%d want 16", g.Area())
+	}
+	g.Add(R(2, 2, 6, 6)) // partial overlap: 16 new, 4 already covered
+	if g.Area() != 16+16-4 {
+		t.Fatalf("area=%d want %d", g.Area(), 16+16-4)
+	}
+	g.Add(Rect{}) // no-op
+	if g.Area() != 28 {
+		t.Fatalf("area=%d want 28", g.Area())
+	}
+}
+
+func TestRegionIntersectArea(t *testing.T) {
+	g := NewRegion(R(0, 0, 10, 10))
+	g.Subtract(R(5, 0, 10, 10)) // left half remains
+	if a := g.IntersectArea(R(0, 0, 10, 10)); a != 50 {
+		t.Fatalf("IntersectArea=%d want 50", a)
+	}
+	if a := g.IntersectArea(R(4, 0, 6, 10)); a != 10 {
+		t.Fatalf("IntersectArea=%d want 10", a)
+	}
+	if a := g.IntersectArea(R(7, 0, 9, 9)); a != 0 {
+		t.Fatalf("IntersectArea=%d want 0", a)
+	}
+}
+
+func TestRegionCovers(t *testing.T) {
+	g := NewRegion(R(0, 0, 10, 10))
+	g.Subtract(R(4, 4, 6, 6))
+	if g.Covers(R(0, 0, 10, 10)) {
+		t.Error("region with a hole should not cover the full rect")
+	}
+	if !g.Covers(R(0, 0, 10, 4)) {
+		t.Error("region should cover the band above the hole")
+	}
+	if !g.Covers(Rect{}) {
+		t.Error("any region covers the empty rect")
+	}
+	// Coverage assembled from two pieces.
+	h := EmptyRegion()
+	h.Add(R(0, 0, 5, 10))
+	h.Add(R(5, 0, 10, 10))
+	if !h.Covers(R(2, 2, 8, 8)) {
+		t.Error("coverage split across pieces should still count")
+	}
+}
+
+func TestRegionSubtractRegion(t *testing.T) {
+	g := NewRegion(R(0, 0, 10, 10))
+	h := EmptyRegion()
+	h.Add(R(0, 0, 5, 10))
+	h.Add(R(5, 0, 10, 5))
+	g.SubtractRegion(h)
+	if g.Area() != 25 {
+		t.Fatalf("area=%d want 25", g.Area())
+	}
+	if !g.Covers(R(5, 5, 10, 10)) {
+		t.Fatal("remaining region should be the lower-right quadrant")
+	}
+}
+
+func TestRegionClone(t *testing.T) {
+	g := NewRegion(R(0, 0, 4, 4))
+	c := g.Clone()
+	c.Subtract(R(0, 0, 4, 4))
+	if g.Area() != 16 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	g := EmptyRegion()
+	// A 4x4 grid of unit squares.
+	for x := int64(0); x < 4; x++ {
+		for y := int64(0); y < 4; y++ {
+			g.Add(R(x, y, x+1, y+1))
+		}
+	}
+	g.Coalesce()
+	if g.Area() != 16 {
+		t.Fatalf("area=%d after coalesce", g.Area())
+	}
+	if n := len(g.Rects()); n != 1 {
+		t.Fatalf("coalesce left %d rects: %v", n, g.Rects())
+	}
+}
+
+func TestUncovered(t *testing.T) {
+	want := R(0, 0, 100, 100)
+
+	// Nothing cached: the whole window is one sub-query.
+	got := Uncovered(want, nil)
+	if len(got) != 1 || !got[0].Eq(want) {
+		t.Fatalf("Uncovered(none) = %v", got)
+	}
+
+	// Fully cached: no sub-queries.
+	if got := Uncovered(want, []Rect{R(-10, -10, 110, 110)}); got != nil {
+		t.Fatalf("Uncovered(full) = %v", got)
+	}
+
+	// Two cached strips leave a middle band.
+	got = Uncovered(want, []Rect{R(0, 0, 100, 30), R(0, 70, 100, 100)})
+	var area int64
+	for _, r := range got {
+		area += r.Area()
+		if r.Overlaps(R(0, 0, 100, 30)) || r.Overlaps(R(0, 70, 100, 100)) {
+			t.Errorf("uncovered %v overlaps cached", r)
+		}
+	}
+	if area != 100*40 {
+		t.Fatalf("uncovered area %d, want %d", area, 100*40)
+	}
+}
+
+// Property test: for random windows and random cached rect sets, the
+// uncovered pieces are disjoint, avoid all cached rects, stay inside the
+// window, and their area equals window minus covered area.
+func TestUncoveredProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		want := randRect(rng, 200)
+		n := rng.Intn(6)
+		have := make([]Rect, n)
+		cov := NewRegion(want)
+		for i := range have {
+			have[i] = randRect(rng, 200)
+			cov.Subtract(have[i])
+		}
+		got := Uncovered(want, have)
+		var area int64
+		for i, p := range got {
+			if p.Empty() {
+				t.Fatalf("trial %d: empty piece", trial)
+			}
+			if !want.Contains(p) {
+				t.Fatalf("trial %d: piece %v escapes window %v", trial, p, want)
+			}
+			for _, h := range have {
+				if p.Overlaps(h) {
+					t.Fatalf("trial %d: piece %v overlaps cached %v", trial, p, h)
+				}
+			}
+			for j := i + 1; j < len(got); j++ {
+				if p.Overlaps(got[j]) {
+					t.Fatalf("trial %d: pieces overlap", trial)
+				}
+			}
+			area += p.Area()
+		}
+		if area != cov.Area() {
+			t.Fatalf("trial %d: uncovered area %d, want %d", trial, area, cov.Area())
+		}
+	}
+}
+
+// Property test: Add/Subtract maintain the invariant that rects are disjoint
+// and area matches a brute-force pixel count on a small grid.
+func TestRegionPixelOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const span = 16
+	for trial := 0; trial < 200; trial++ {
+		g := EmptyRegion()
+		var grid [span][span]bool
+		for op := 0; op < 8; op++ {
+			x0, y0 := rng.Int63n(span), rng.Int63n(span)
+			r := R(x0, y0, x0+rng.Int63n(span-x0)+1, y0+rng.Int63n(span-y0)+1)
+			if rng.Intn(2) == 0 {
+				g.Add(r)
+				for x := r.X0; x < r.X1; x++ {
+					for y := r.Y0; y < r.Y1; y++ {
+						grid[x][y] = true
+					}
+				}
+			} else {
+				g.Subtract(r)
+				for x := r.X0; x < r.X1; x++ {
+					for y := r.Y0; y < r.Y1; y++ {
+						grid[x][y] = false
+					}
+				}
+			}
+			if rng.Intn(4) == 0 {
+				g.Coalesce()
+			}
+			// Check area and membership against the oracle.
+			var want int64
+			for x := 0; x < span; x++ {
+				for y := 0; y < span; y++ {
+					if grid[x][y] {
+						want++
+					}
+				}
+			}
+			if got := g.Area(); got != want {
+				t.Fatalf("trial %d op %d: area %d, oracle %d", trial, op, got, want)
+			}
+			// Spot-check membership at random points.
+			for k := 0; k < 10; k++ {
+				x, y := rng.Int63n(span), rng.Int63n(span)
+				if g.ContainsPoint(x, y) != grid[x][y] {
+					t.Fatalf("trial %d: membership mismatch at (%d,%d)", trial, x, y)
+				}
+			}
+		}
+	}
+}

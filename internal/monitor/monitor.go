@@ -1,0 +1,176 @@
+// Package monitor samples time-varying quantities (disk utilization, CPU
+// utilization, queue lengths) while a workload runs, and renders the series
+// as compact sparklines. On the simulated runtime sampling happens on the
+// virtual clock, so the series are deterministic and aligned with the
+// modelled hardware; it is how cmd/mqbench's timeline experiment shows the
+// I/O subsystem saturating as threads are added (the Figure 4 story).
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mqsched/internal/rt"
+)
+
+// Probe is one sampled quantity.
+type Probe struct {
+	Name string
+	F    func() float64
+}
+
+// Monitor runs a sampling process until stopped.
+type Monitor struct {
+	interval time.Duration
+	probes   []Probe
+
+	mu      sync.Mutex
+	times   []time.Duration
+	series  [][]float64
+	stopped bool
+}
+
+// Start spawns the sampling process on rtm, sampling every interval.
+// Call Stop when the observed workload completes — on the simulated runtime
+// a running monitor keeps virtual time advancing forever otherwise.
+func Start(rtm rt.Runtime, interval time.Duration, probes []Probe) *Monitor {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	m := &Monitor{interval: interval, probes: probes, series: make([][]float64, len(probes))}
+	rtm.Spawn("monitor", func(ctx rt.Ctx) {
+		for {
+			m.mu.Lock()
+			if m.stopped {
+				m.mu.Unlock()
+				return
+			}
+			m.times = append(m.times, ctx.Now())
+			for i, p := range m.probes {
+				m.series[i] = append(m.series[i], p.F())
+			}
+			m.mu.Unlock()
+			ctx.Sleep(m.interval)
+		}
+	})
+	return m
+}
+
+// Stop ends sampling (the process exits at its next wakeup).
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	m.stopped = true
+	m.mu.Unlock()
+}
+
+// Len returns the number of samples taken.
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.times)
+}
+
+// Series returns a copy of probe i's samples.
+func (m *Monitor) Series(i int) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]float64(nil), m.series[i]...)
+}
+
+// Times returns a copy of the sample timestamps.
+func (m *Monitor) Times() []time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]time.Duration(nil), m.times...)
+}
+
+// Windowed converts a cumulative quantity (e.g. busy-seconds so far) into a
+// per-interval rate probe: each sample reports the increase since the last
+// sample divided by the interval — the instantaneous utilization over the
+// window.
+func Windowed(name string, cumulative func() float64, interval time.Duration) Probe {
+	var last float64
+	return Probe{Name: name, F: func() float64 {
+		cur := cumulative()
+		rate := (cur - last) / interval.Seconds()
+		last = cur
+		return rate
+	}}
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders probe i's series resampled to width characters, scaled
+// to [lo, hi] (pass lo == hi to autoscale).
+func (m *Monitor) Sparkline(i, width int, lo, hi float64) string {
+	vals := m.Series(i)
+	return Sparkline(vals, width, lo, hi)
+}
+
+// Sparkline renders vals resampled to width characters.
+func Sparkline(vals []float64, width int, lo, hi float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if lo == hi {
+		lo, hi = vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	// Average-resample into width buckets.
+	out := make([]rune, 0, width)
+	n := len(vals)
+	if width > n {
+		width = n
+	}
+	for b := 0; b < width; b++ {
+		from := b * n / width
+		to := (b + 1) * n / width
+		if to == from {
+			to = from + 1
+		}
+		var sum float64
+		for _, v := range vals[from:to] {
+			sum += v
+		}
+		v := sum / float64(to-from)
+		frac := (v - lo) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		idx := int(frac * float64(len(sparkRunes)-1))
+		out = append(out, sparkRunes[idx])
+	}
+	return string(out)
+}
+
+// Report renders every probe as "name  sparkline  last=x.xx".
+func (m *Monitor) Report(width int) string {
+	var b strings.Builder
+	for i, p := range m.probes {
+		s := m.Series(i)
+		last := 0.0
+		if len(s) > 0 {
+			last = s[len(s)-1]
+		}
+		fmt.Fprintf(&b, "%-12s %s  last=%.2f\n", p.Name, m.Sparkline(i, width, 0, 0), last)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mqsched/internal/rt"
+	"mqsched/internal/sim"
+)
+
+func TestSamplingOnVirtualClock(t *testing.T) {
+	eng := sim.New()
+	rtm := rt.NewSim(eng, 2)
+	level := 0.0
+	m := Start(rtm, time.Second, []Probe{{Name: "level", F: func() float64 { return level }}})
+	rtm.Spawn("workload", func(ctx rt.Ctx) {
+		for i := 0; i < 5; i++ {
+			level = float64(i)
+			ctx.Sleep(time.Second)
+		}
+		m.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() < 5 {
+		t.Fatalf("samples = %d", m.Len())
+	}
+	s := m.Series(0)
+	// The series tracks the evolving level (first samples near 0, later ones
+	// higher).
+	if s[0] != 0 || s[len(s)-1] < 3 {
+		t.Fatalf("series = %v", s)
+	}
+	ts := m.Times()
+	for i := 1; i < len(ts); i++ {
+		if ts[i]-ts[i-1] != time.Second {
+			t.Fatalf("irregular sampling: %v", ts)
+		}
+	}
+}
+
+func TestWindowedProbe(t *testing.T) {
+	cum := 0.0
+	p := Windowed("rate", func() float64 { return cum }, 2*time.Second)
+	// First window: cum goes 0 -> 4 over 2s: rate 2/s.
+	cum = 4
+	if got := p.F(); got != 2 {
+		t.Fatalf("rate = %v", got)
+	}
+	// Second window: no growth.
+	if got := p.F(); got != 0 {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10, 0, 0) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	s := Sparkline([]float64{0, 0.5, 1}, 3, 0, 1)
+	r := []rune(s)
+	if len(r) != 3 {
+		t.Fatalf("width = %d", len(r))
+	}
+	if r[0] != '▁' || r[2] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+	// Constant series autoscale must not divide by zero.
+	if got := Sparkline([]float64{5, 5, 5}, 3, 0, 0); len([]rune(got)) != 3 {
+		t.Fatalf("constant sparkline = %q", got)
+	}
+	// Out-of-range values clamp.
+	if got := Sparkline([]float64{-10, 20}, 2, 0, 1); []rune(got)[0] != '▁' || []rune(got)[1] != '█' {
+		t.Fatalf("clamped sparkline = %q", got)
+	}
+	// Downsampling averages buckets.
+	long := make([]float64, 100)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := Sparkline(long, 10, 0, 0); len([]rune(got)) != 10 {
+		t.Fatalf("downsampled width = %d", len([]rune(got)))
+	}
+	// Width larger than the series shrinks to the series length.
+	if got := Sparkline([]float64{1, 2}, 50, 0, 0); len([]rune(got)) != 2 {
+		t.Fatalf("overwide sparkline = %q", got)
+	}
+}
+
+func TestReport(t *testing.T) {
+	eng := sim.New()
+	rtm := rt.NewSim(eng, 1)
+	m := Start(rtm, time.Second, []Probe{{Name: "x", F: func() float64 { return 1 }}})
+	rtm.Spawn("w", func(ctx rt.Ctx) {
+		ctx.Sleep(3 * time.Second)
+		m.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report(20)
+	if !strings.Contains(rep, "x") || !strings.Contains(rep, "last=1.00") {
+		t.Fatalf("report = %q", rep)
+	}
+}

@@ -1,0 +1,96 @@
+// Package netproto is the wire protocol of the live demo server: gob-framed
+// request/response pairs over a persistent TCP connection. It stands in for
+// the paper's client protocol between the cluster of PCs running the driver
+// and the SMP running the query server; the network is intentionally not on
+// the measured path of any experiment.
+package netproto
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mqsched/internal/geom"
+	"mqsched/internal/vm"
+)
+
+// Request is one Virtual Microscope query.
+type Request struct {
+	Slide          string
+	X0, Y0, X1, Y1 int64 // window at base resolution
+	Zoom           int64
+	Op             string // "subsample" or "average"
+	// OmitPixels asks the server not to ship the image back (load
+	// generation only).
+	OmitPixels bool
+}
+
+// Meta converts the request to a VM predicate, validating and zoom-aligning
+// the window against bounds.
+func (r *Request) Meta(bounds geom.Rect) (vm.Meta, error) {
+	op, err := vm.ParseOp(r.Op)
+	if err != nil {
+		return vm.Meta{}, err
+	}
+	if r.Zoom < 1 {
+		return vm.Meta{}, fmt.Errorf("netproto: zoom %d < 1", r.Zoom)
+	}
+	w := vm.AlignRect(geom.R(r.X0, r.Y0, r.X1, r.Y1), r.Zoom, bounds)
+	if w.Empty() {
+		return vm.Meta{}, fmt.Errorf("netproto: window %v outside slide bounds %v", geom.R(r.X0, r.Y0, r.X1, r.Y1), bounds)
+	}
+	return vm.NewMeta(r.Slide, w, r.Zoom, op), nil
+}
+
+// Response carries the answer image and server-side timings.
+type Response struct {
+	Err string
+	// Width and Height are the output image dimensions.
+	Width, Height int64
+	// Pixels is row-major RGB (empty when OmitPixels was set).
+	Pixels []byte
+	// Server-side measurements.
+	ResponseMS float64
+	WaitMS     float64
+	ExecMS     float64
+	ReusedFrac float64
+}
+
+// Conn wraps a stream with gob encoding in both directions.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	rw  io.ReadWriteCloser
+}
+
+// NewConn wraps rw.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), rw: rw}
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// WriteRequest sends a request.
+func (c *Conn) WriteRequest(r *Request) error { return c.enc.Encode(r) }
+
+// ReadRequest receives a request.
+func (c *Conn) ReadRequest() (*Request, error) {
+	var r Request
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WriteResponse sends a response.
+func (c *Conn) WriteResponse(r *Response) error { return c.enc.Encode(r) }
+
+// ReadResponse receives a response.
+func (c *Conn) ReadResponse() (*Response, error) {
+	var r Response
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

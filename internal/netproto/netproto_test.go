@@ -1,0 +1,130 @@
+package netproto
+
+import (
+	"net"
+	"testing"
+
+	"mqsched"
+	"mqsched/internal/geom"
+	"mqsched/internal/vm"
+)
+
+func TestRequestMeta(t *testing.T) {
+	bounds := geom.R(0, 0, 4096, 4096)
+	req := &Request{Slide: "s", X0: 3, Y0: 5, X1: 1001, Y1: 1003, Zoom: 4, Op: "average"}
+	m, err := req.Meta(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != vm.Average || m.Zoom != 4 {
+		t.Fatalf("meta = %+v", m)
+	}
+	if m.Rect.X0%4 != 0 || m.Rect.X1%4 != 0 {
+		t.Fatalf("window not aligned: %v", m.Rect)
+	}
+
+	if _, err := (&Request{Slide: "s", X1: 10, Y1: 10, Zoom: 0, Op: "subsample"}).Meta(bounds); err == nil {
+		t.Error("zoom 0 accepted")
+	}
+	if _, err := (&Request{Slide: "s", X1: 10, Y1: 10, Zoom: 1, Op: "sharpen"}).Meta(bounds); err == nil {
+		t.Error("bad op accepted")
+	}
+	if _, err := (&Request{Slide: "s", X0: 9000, Y0: 9000, X1: 9100, Y1: 9100, Zoom: 1, Op: "subsample"}).Meta(bounds); err == nil {
+		t.Error("out-of-bounds window accepted")
+	}
+}
+
+func TestConnRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	go func() {
+		req, err := cb.ReadRequest()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cb.WriteResponse(&Response{Width: req.X1 - req.X0, Height: 7, Pixels: []byte{1, 2, 3}})
+	}()
+
+	if err := ca.WriteRequest(&Request{Slide: "s", X1: 42, Y1: 10, Zoom: 2, Op: "subsample"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ca.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Width != 42 || resp.Height != 7 || len(resp.Pixels) != 3 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+// End-to-end TCP test: a live server answers queries with correct pixels.
+func TestServeEndToEnd(t *testing.T) {
+	table := mqsched.NewSlideTable(mqsched.Slide{Name: "s1", Width: 2048, Height: 2048})
+	sys, err := mqsched.New(mqsched.Config{
+		Mode: mqsched.Real, Policy: "cf", Threads: 2, TimeScale: 0.0001,
+	}, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, sys, t.Logf)
+	defer l.Close()
+
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := NewConn(nc)
+
+	// Two identical queries over one connection: the second reuses.
+	req := &Request{Slide: "s1", X0: 0, Y0: 0, X1: 1024, Y1: 1024, Zoom: 4, Op: "subsample"}
+	var last *Response
+	for i := 0; i < 2; i++ {
+		if err := c.WriteRequest(req); err != nil {
+			t.Fatal(err)
+		}
+		last, err = c.ReadResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Err != "" {
+			t.Fatal(last.Err)
+		}
+	}
+	if last.Width != 256 || last.Height != 256 {
+		t.Fatalf("dims %dx%d", last.Width, last.Height)
+	}
+	if last.ReusedFrac != 1 {
+		t.Fatalf("second query reuse = %v", last.ReusedFrac)
+	}
+	// Pixels match the oracle.
+	want := vm.RenderOracle(vm.NewMeta("s1", geom.R(0, 0, 1024, 1024), 4, vm.Subsample))
+	if len(last.Pixels) != len(want) {
+		t.Fatalf("pixel payload %d, want %d", len(last.Pixels), len(want))
+	}
+	for i := range want {
+		if last.Pixels[i] != want[i] {
+			t.Fatalf("pixel byte %d differs", i)
+		}
+	}
+
+	// Unknown slide produces a server-side error, not a dead connection.
+	if err := c.WriteRequest(&Request{Slide: "nope", X1: 8, Y1: 8, Zoom: 1, Op: "subsample"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("expected error response for unknown slide")
+	}
+}

@@ -1,0 +1,90 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync/atomic"
+
+	"mqsched"
+)
+
+// Serve accepts connections on l and answers Virtual Microscope requests
+// against sys (which must be a Real-mode system). It returns when the
+// listener is closed.
+func Serve(l net.Listener, sys *mqsched.System, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = log.Printf
+	}
+	var id int64
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		n := atomic.AddInt64(&id, 1)
+		go serveConn(nc, sys, n, logf)
+	}
+}
+
+func serveConn(nc net.Conn, sys *mqsched.System, id int64, logf func(string, ...any)) {
+	defer nc.Close()
+	c := NewConn(nc)
+	logf("client %d connected from %s", id, nc.RemoteAddr())
+	for reqNo := 0; ; reqNo++ {
+		req, err := c.ReadRequest()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				logf("client %d: read: %v", id, err)
+			}
+			return
+		}
+		resp := answer(sys, req, id, reqNo)
+		if err := c.WriteResponse(resp); err != nil {
+			logf("client %d: write: %v", id, err)
+			return
+		}
+	}
+}
+
+// answer runs one request through the query server synchronously.
+func answer(sys *mqsched.System, req *Request, connID int64, reqNo int) *Response {
+	layout, ok := sys.Datasets().Lookup(req.Slide)
+	if !ok {
+		return &Response{Err: fmt.Sprintf("unknown slide %q", req.Slide)}
+	}
+	m, err := req.Meta(layout.Bounds())
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	ticket, err := sys.Submit(m)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+
+	// Wait for completion on a client process of the real runtime.
+	done := make(chan *mqsched.Result, 1)
+	sys.Start(fmt.Sprintf("conn%d-req%d", connID, reqNo), func(ctx mqsched.Ctx) {
+		done <- ticket.Wait(ctx)
+	})
+	res := <-done
+
+	out := m.OutRect()
+	resp := &Response{
+		Width:      out.Dx(),
+		Height:     out.Dy(),
+		ResponseMS: float64(res.ResponseTime().Microseconds()) / 1000,
+		WaitMS:     float64(res.WaitTime().Microseconds()) / 1000,
+		ExecMS:     float64(res.ExecTime().Microseconds()) / 1000,
+		ReusedFrac: res.ReusedFrac,
+	}
+	if !req.OmitPixels {
+		resp.Pixels = res.Blob.Data
+	}
+	return resp
+}

@@ -1,0 +1,233 @@
+// Package pagespace implements the Page Space Manager (PS): "the allocation
+// and management of buffer space available for input data in terms of
+// fixed-size pages. All interactions with data sources are done through the
+// page space manager. The pages retrieved from a Data Source are cached in
+// memory. The page space manager also keeps track of I/O requests received
+// from multiple queries so that overlapping I/O requests are reordered and
+// merged, and duplicate requests are eliminated" (paper §2).
+//
+// Duplicate elimination: a page being fetched has an in-flight entry with a
+// completion gate; concurrent requesters wait on the gate instead of issuing
+// a second disk read. Reordering/merging: queries obtain their page lists
+// from the index in ascending order (see dataset.PagesInRect), which the
+// striped farm rewards with sequential positioning; the manager preserves
+// that order. Caching: resident pages are kept under a byte budget with LRU
+// replacement.
+package pagespace
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/disk"
+	"mqsched/internal/rt"
+)
+
+// Stats are cumulative PS counters.
+type Stats struct {
+	Hits          int64 // request served from a resident page
+	Misses        int64 // request that issued a disk read
+	InflightWaits int64 // request coalesced onto an in-flight read
+	Evictions     int64
+	BytesRead     int64 // bytes fetched from the farm
+	Prefetches    int64 // background fetches started by StartFetch
+}
+
+// Options configure the manager.
+type Options struct {
+	// Budget is the buffer space in bytes (default 32 MB, the paper's PS
+	// size).
+	Budget int64
+	// DisableDedup turns off in-flight duplicate elimination (ablation A2):
+	// concurrent requests for the same absent page each go to disk.
+	DisableDedup bool
+}
+
+// Manager is the page space manager.
+type Manager struct {
+	rtm   rt.Runtime
+	table *dataset.Table
+	farm  *disk.Farm
+	opts  Options
+
+	mu      sync.Mutex
+	pages   map[pageKey]*pageEntry
+	lru     *list.List // front = most recent; values are *pageEntry
+	used    int64
+	st      Stats
+	newGate func(string) rt.Gate
+}
+
+type pageKey struct {
+	ds   string
+	page int
+}
+
+type pageEntry struct {
+	key      pageKey
+	size     int64
+	resident bool
+	gate     rt.Gate // open when the fetch completes (only while fetching)
+	data     []byte
+	elem     *list.Element
+}
+
+// New returns a manager over the farm for the given datasets.
+func New(r rt.Runtime, table *dataset.Table, farm *disk.Farm, opts Options) *Manager {
+	if opts.Budget == 0 {
+		opts.Budget = 32 << 20
+	}
+	return &Manager{
+		rtm:     r,
+		table:   table,
+		farm:    farm,
+		opts:    opts,
+		pages:   map[pageKey]*pageEntry{},
+		lru:     list.New(),
+		newGate: func(reason string) rt.Gate { return r.NewGate(reason) },
+	}
+}
+
+// Budget returns the configured byte budget.
+func (m *Manager) Budget() int64 { return m.opts.Budget }
+
+// Used returns the bytes currently resident.
+func (m *Manager) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st
+}
+
+// ReadPage returns the payload of one page (nil on the synthetic runtime),
+// blocking the calling process for any disk time. It implements
+// query.PageReader.
+func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
+	l := m.table.Get(ds)
+	k := pageKey{ds, page}
+	for {
+		m.mu.Lock()
+		e := m.pages[k]
+		switch {
+		case e != nil && e.resident:
+			m.st.Hits++
+			m.lru.MoveToFront(e.elem)
+			data := e.data
+			m.mu.Unlock()
+			return data
+
+		case e != nil && !m.opts.DisableDedup:
+			// A fetch is in flight: coalesce onto it.
+			m.st.InflightWaits++
+			gate := e.gate
+			m.mu.Unlock()
+			gate.Wait(ctx)
+			// The page is normally resident now, but may already have been
+			// evicted under memory pressure; retry from the top.
+			continue
+
+		case e != nil:
+			// Dedup disabled: issue a duplicate read without registering it.
+			m.st.Misses++
+			m.mu.Unlock()
+			return m.fetchUntracked(ctx, l, page)
+
+		default:
+			e = &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("page %s/%d", ds, page))}
+			m.pages[k] = e
+			m.st.Misses++
+			m.mu.Unlock()
+			return m.fetchAndPublish(ctx, l, e)
+		}
+	}
+}
+
+// fetchAndPublish reads the page from the farm and makes it resident.
+func (m *Manager) fetchAndPublish(ctx rt.Ctx, l *dataset.Layout, e *pageEntry) []byte {
+	data := m.farm.Read(ctx, l, e.key.page)
+	size := l.PageBytes(e.key.page)
+
+	m.mu.Lock()
+	e.resident = true
+	e.data = data
+	e.size = size
+	e.elem = m.lru.PushFront(e)
+	m.used += size
+	m.st.BytesRead += size
+	m.evictOverBudgetLocked(e)
+	e.gate.Open() // wake coalesced waiters (no park: open is non-blocking)
+	m.mu.Unlock()
+	return data
+}
+
+// fetchUntracked is the dedup-disabled duplicate read path: disk time is
+// paid but the cache is left to the tracked fetch.
+func (m *Manager) fetchUntracked(ctx rt.Ctx, l *dataset.Layout, page int) []byte {
+	data := m.farm.Read(ctx, l, page)
+	m.mu.Lock()
+	m.st.BytesRead += l.PageBytes(page)
+	m.mu.Unlock()
+	return data
+}
+
+// evictOverBudgetLocked drops least-recently-used resident pages until the
+// budget is met, never evicting keep (the page just fetched: the requester
+// is entitled to it even if the budget is too small to hold a single page).
+func (m *Manager) evictOverBudgetLocked(keep *pageEntry) {
+	for m.used > m.opts.Budget {
+		elem := m.lru.Back()
+		if elem == nil {
+			return
+		}
+		e := elem.Value.(*pageEntry)
+		if e == keep {
+			// Only the protected page remains.
+			return
+		}
+		m.lru.Remove(elem)
+		delete(m.pages, e.key)
+		m.used -= e.size
+		m.st.Evictions++
+	}
+}
+
+// StartFetch begins fetching the page in the background if it is neither
+// resident nor already in flight (query.Prefetcher). The fetch runs in its
+// own process; later ReadPage calls coalesce onto it. With dedup disabled
+// (ablation A2) prefetching is also disabled, as there is nothing for the
+// foreground read to coalesce onto.
+func (m *Manager) StartFetch(ds string, page int) {
+	if m.opts.DisableDedup {
+		return
+	}
+	l := m.table.Get(ds)
+	k := pageKey{ds, page}
+	m.mu.Lock()
+	if _, exists := m.pages[k]; exists {
+		m.mu.Unlock()
+		return
+	}
+	e := &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("prefetch %s/%d", ds, page))}
+	m.pages[k] = e
+	m.st.Prefetches++
+	m.mu.Unlock()
+	m.rtm.Spawn(fmt.Sprintf("prefetch-%s-%d", ds, page), func(ctx rt.Ctx) {
+		m.fetchAndPublish(ctx, l, e)
+	})
+}
+
+// Resident reports whether the page is currently cached (for tests).
+func (m *Manager) Resident(ds string, page int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.pages[pageKey{ds, page}]
+	return e != nil && e.resident
+}

@@ -1,0 +1,415 @@
+// Package sched implements the paper's dynamic query scheduling model (§4):
+// a priority queue implemented as a directed graph G(V, E). Each vertex is a
+// query that is waiting, executing, or recently computed with cached
+// results; a directed edge e(i,j) means q_j's result can be computed from
+// q_i's result through the application's project transformation, with weight
+// w(i,j) = overlap(M_i, M_j) · qoutsize(M_i) — a measure of the number of
+// bytes that can be reused. Each node carries a 2-tuple <rank, state>; a
+// dequeue returns the WAITING node of highest rank under the configured
+// ranking strategy.
+//
+// Rank maintenance is incremental: inserting a node, changing a node's
+// state, or removing a node only re-ranks the node itself and its graph
+// neighbours, mirroring the paper's incremental topological-sort
+// implementation.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"mqsched/internal/query"
+	"mqsched/internal/rt"
+	"mqsched/internal/spatial"
+)
+
+// State is the lifecycle state of a query node.
+type State uint8
+
+const (
+	// Waiting queries are queued for execution.
+	Waiting State = iota
+	// Executing queries occupy a query thread.
+	Executing
+	// Cached queries have finished and their results live in the data store.
+	Cached
+	// SwappedOut queries' results were reclaimed; the node is removed from
+	// the graph.
+	SwappedOut
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Waiting:
+		return "WAITING"
+	case Executing:
+		return "EXECUTING"
+	case Cached:
+		return "CACHED"
+	case SwappedOut:
+		return "SWAPPED_OUT"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Node is a vertex of the query scheduling graph.
+type Node struct {
+	ID   int64
+	Meta query.Meta
+
+	// Seq is the arrival order (FIFO rank and tie-breaking).
+	Seq int64
+	// ExecSeq is the order in which execution started (0 until scheduled);
+	// the server's deadlock-avoidance rule only lets a query block on
+	// producers with a smaller ExecSeq.
+	ExecSeq int64
+
+	// Done opens when the query finishes executing (its result is available
+	// in the data store, or the query completed uncached). Dependent queries
+	// and the submitting client wait on it.
+	Done rt.Gate
+
+	// Payload is for the embedding server's use (e.g. the data store entry
+	// backing a CACHED node).
+	Payload any
+
+	state State
+	rank  float64
+	// out[k] = w(this, k): bytes of this node's result reusable for k.
+	// in[k] = w(k, this).
+	out map[*Node]float64
+	in  map[*Node]float64
+
+	heapIdx int // index in the waiting heap, -1 if not enqueued
+}
+
+// State returns the node's current state. Callers outside the graph's lock
+// should treat it as advisory.
+func (n *Node) State() State { return n.state }
+
+// Rank returns the node's current rank.
+func (n *Node) Rank() float64 { return n.rank }
+
+// Graph is the scheduling graph plus the waiting-queue priority heap.
+// All methods are safe for concurrent use.
+type Graph struct {
+	mu      sync.Mutex
+	app     query.App
+	policy  Policy
+	newGate func(string) rt.Gate
+
+	nodes   map[int64]*Node
+	trees   map[string]*spatial.Tree[*Node] // overlap-candidate index
+	waiting waitHeap
+	nextID  int64
+	nextExc int64
+
+	st GraphStats
+}
+
+// GraphStats are cumulative counters.
+type GraphStats struct {
+	Inserted  int64
+	Dequeued  int64
+	Removed   int64
+	EdgePairs int64 // number of neighbour relations ever created
+	ReRanks   int64 // rank recomputations (measure of incremental cost)
+}
+
+// New returns an empty graph using the given ranking strategy. The runtime
+// provides completion gates for nodes.
+func New(r rt.Runtime, app query.App, policy Policy) *Graph {
+	return &Graph{
+		app:     app,
+		policy:  policy,
+		newGate: func(reason string) rt.Gate { return r.NewGate(reason) },
+		nodes:   map[int64]*Node{},
+		trees:   map[string]*spatial.Tree[*Node]{},
+	}
+}
+
+// Policy returns the active ranking strategy.
+func (g *Graph) Policy() Policy { return g.policy }
+
+// Insert adds a new query in the WAITING state: it creates the node, adds
+// edges to and from every node with non-zero overlap, computes the new
+// node's rank and refreshes the ranks of its neighbours (paper §4, steps
+// (1)-(3) for a new query).
+func (g *Graph) Insert(m query.Meta) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	n := &Node{
+		ID:      g.nextID,
+		Meta:    m,
+		Seq:     g.nextID,
+		Done:    g.newGate(fmt.Sprintf("query %d done", g.nextID)),
+		state:   Waiting,
+		out:     map[*Node]float64{},
+		in:      map[*Node]float64{},
+		heapIdx: -1,
+	}
+	g.nodes[n.ID] = n
+	g.st.Inserted++
+
+	// Neighbour discovery via the spatial index: overlap requires region
+	// intersection on the same dataset.
+	tree := g.treeFor(m.Dataset())
+	for _, c := range tree.Search(m.Region(), nil) {
+		if w := g.app.Overlap(c.Meta, n.Meta) * float64(g.app.QOutSize(c.Meta)); w > 0 {
+			c.out[n] = w
+			n.in[c] = w
+			g.st.EdgePairs++
+		}
+		if w := g.app.Overlap(n.Meta, c.Meta) * float64(g.app.QOutSize(n.Meta)); w > 0 {
+			n.out[c] = w
+			c.in[n] = w
+			g.st.EdgePairs++
+		}
+	}
+	tree.Insert(m.Region(), n)
+
+	heap.Push(&g.waiting, n)
+	g.refreshLocked(n)
+	g.refreshNeighboursLocked(n)
+	return n
+}
+
+// Dequeue removes and returns the WAITING node with the highest rank,
+// marking it EXECUTING, or nil if no query is waiting. Neighbour ranks are
+// refreshed to reflect the state change.
+func (g *Graph) Dequeue() *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.waiting.Len() == 0 {
+		return nil
+	}
+	n := heap.Pop(&g.waiting).(*Node)
+	n.state = Executing
+	g.nextExc++
+	n.ExecSeq = g.nextExc
+	g.st.Dequeued++
+	g.refreshNeighboursLocked(n)
+	return n
+}
+
+// MarkCached transitions an EXECUTING node to CACHED: its results are now
+// available in the data store for reuse. A node that has already been
+// swapped out (its entry evicted before the transition landed) is left
+// alone.
+func (g *Graph) MarkCached(n *Node) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n.state == SwappedOut {
+		return
+	}
+	if n.state != Executing {
+		panic(fmt.Sprintf("sched: MarkCached of %v node %d", n.state, n.ID))
+	}
+	n.state = Cached
+	g.refreshNeighboursLocked(n)
+}
+
+// Remove takes a node out of the graph: a CACHED node whose results were
+// reclaimed (it becomes SWAPPED OUT), or an EXECUTING node that completed
+// without caching its result. All its edges are removed and the ranks of its
+// former neighbours recomputed, so "the up-to-date state of the system is
+// reflected to the query server" (§4).
+func (g *Graph) Remove(n *Node) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n.state == SwappedOut {
+		return
+	}
+	if n.state == Waiting {
+		panic(fmt.Sprintf("sched: Remove of WAITING node %d", n.ID))
+	}
+	former := make([]*Node, 0, len(n.in)+len(n.out))
+	for k := range n.out {
+		delete(k.in, n)
+		former = append(former, k)
+	}
+	for k := range n.in {
+		delete(k.out, n)
+		former = append(former, k)
+	}
+	n.out, n.in = map[*Node]float64{}, map[*Node]float64{}
+	n.state = SwappedOut
+	g.treeFor(n.Meta.Dataset()).Delete(n.Meta.Region(), n)
+	delete(g.nodes, n.ID)
+	g.st.Removed++
+	for _, k := range former {
+		g.refreshLocked(k)
+	}
+}
+
+// CancelWaiting removes a node that is still WAITING (the client abandoned
+// the query before a thread picked it up): it leaves the priority queue and
+// the graph, and its former neighbours are re-ranked. It reports false —
+// and does nothing — if the node is no longer waiting; the query will
+// complete normally.
+func (g *Graph) CancelWaiting(n *Node) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n.state != Waiting {
+		return false
+	}
+	heap.Remove(&g.waiting, n.heapIdx)
+	former := make([]*Node, 0, len(n.in)+len(n.out))
+	for k := range n.out {
+		delete(k.in, n)
+		former = append(former, k)
+	}
+	for k := range n.in {
+		delete(k.out, n)
+		former = append(former, k)
+	}
+	n.out, n.in = map[*Node]float64{}, map[*Node]float64{}
+	n.state = SwappedOut
+	g.treeFor(n.Meta.Dataset()).Delete(n.Meta.Region(), n)
+	delete(g.nodes, n.ID)
+	g.st.Removed++
+	for _, k := range former {
+		g.refreshLocked(k)
+	}
+	return true
+}
+
+// ExecutingProducers returns the nodes currently EXECUTING whose results
+// overlap n (edges k→n), ordered by decreasing weight. The server consults
+// it to decide whether to block on a result "that is still being computed".
+func (g *Graph) ExecutingProducers(n *Node) []*Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []*Node
+	for k := range n.in {
+		if k.state == Executing {
+			out = append(out, k)
+		}
+	}
+	// Insertion order from a map is random; sort by weight then ID for
+	// determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			wi, wj := n.in[out[j]], n.in[out[j-1]]
+			if wi > wj || (wi == wj && out[j].ID < out[j-1].ID) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EdgeWeight returns w(src, dst) and whether the edge exists.
+func (g *Graph) EdgeWeight(src, dst *Node) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := src.out[dst]
+	return w, ok
+}
+
+// Observe forwards a completed query's response time to the ranking policy
+// (self-tuning strategies learn from it; see Feedback). If the policy
+// reports that its ranking function changed, every WAITING rank is
+// recomputed.
+func (g *Graph) Observe(response time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f, ok := g.policy.(Feedback)
+	if !ok || !f.Observe(response) {
+		return
+	}
+	for _, n := range g.waiting {
+		n.rank = g.policy.Rank(n)
+		g.st.ReRanks++
+	}
+	heap.Init(&g.waiting)
+}
+
+// WaitingCount returns the number of WAITING queries.
+func (g *Graph) WaitingCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting.Len()
+}
+
+// Len returns the number of nodes in the graph (all states except
+// SWAPPED OUT).
+func (g *Graph) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.nodes)
+}
+
+// Stats returns a snapshot of the counters.
+func (g *Graph) Stats() GraphStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.st
+}
+
+// refreshLocked recomputes the rank of n if it is WAITING and repositions it
+// in the heap.
+func (g *Graph) refreshLocked(n *Node) {
+	if n.state != Waiting || n.heapIdx < 0 {
+		return
+	}
+	n.rank = g.policy.Rank(n)
+	heap.Fix(&g.waiting, n.heapIdx)
+	g.st.ReRanks++
+}
+
+// refreshNeighboursLocked recomputes the ranks of every neighbour of n.
+func (g *Graph) refreshNeighboursLocked(n *Node) {
+	for k := range n.out {
+		g.refreshLocked(k)
+	}
+	for k := range n.in {
+		if _, dup := n.out[k]; !dup {
+			g.refreshLocked(k)
+		}
+	}
+}
+
+func (g *Graph) treeFor(ds string) *spatial.Tree[*Node] {
+	t, ok := g.trees[ds]
+	if !ok {
+		t = spatial.NewTree[*Node]()
+		g.trees[ds] = t
+	}
+	return t
+}
+
+// waitHeap orders WAITING nodes by descending rank, breaking ties FIFO by
+// arrival sequence.
+type waitHeap []*Node
+
+func (h waitHeap) Len() int { return len(h) }
+func (h waitHeap) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank > h[j].rank
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h waitHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *waitHeap) Push(x any) {
+	n := x.(*Node)
+	n.heapIdx = len(*h)
+	*h = append(*h, n)
+}
+func (h *waitHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	n.heapIdx = -1
+	*h = old[:len(old)-1]
+	return n
+}

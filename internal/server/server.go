@@ -1,0 +1,401 @@
+// Package server implements the multithreaded query server engine: a
+// fixed-size pool of query threads that dequeue from the scheduling graph,
+// answer queries from cached intermediate results where possible (projecting
+// via the application's transformation function), optionally block on
+// overlapping results still being computed, and compute the uncovered
+// remainder from raw data through the page space manager (paper §2, §4).
+//
+// A query executes as follows:
+//
+//  1. Look up the data store for complete or partial blobs; project each
+//     useful candidate into the output and subtract the covered region.
+//  2. If part of the output is still uncovered and an overlapping query is
+//     EXECUTING, optionally block until it finishes and retry the lookup —
+//     this avoids duplicate I/O at the price of a stall (the behaviour the
+//     FF and CNBF ranking strategies reason about). Deadlock avoidance:
+//     only block on producers that started executing earlier.
+//  3. Compute the remaining sub-regions (the "sub-queries") from raw chunks.
+//  4. Store the output image in the data store as an intermediate result and
+//     move the node to CACHED (or remove it if it cannot be stored).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mqsched/internal/datastore"
+	"mqsched/internal/geom"
+	"mqsched/internal/pagespace"
+	"mqsched/internal/query"
+	"mqsched/internal/rt"
+	"mqsched/internal/sched"
+	"mqsched/internal/trace"
+)
+
+// Options configure the server.
+type Options struct {
+	// Threads is the query-thread pool size ("typically the number of
+	// processors available in the SMP"). Default 4.
+	Threads int
+	// MinReuseOverlap filters data store candidates: results with a smaller
+	// overlap index are not projected. Default 0.01.
+	MinReuseOverlap float64
+	// BlockOnExecuting enables step 2 (waiting on overlapping EXECUTING
+	// queries). Default true; ablation A3 turns it off.
+	BlockOnExecuting bool
+	// MinBlockOverlap is the minimum overlap index with an EXECUTING
+	// producer that justifies stalling on it. Default 0.1.
+	MinBlockOverlap float64
+	// Tracer, when non-nil, records query lifecycle events.
+	Tracer *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = 4
+	}
+	if o.MinReuseOverlap == 0 {
+		o.MinReuseOverlap = 0.01
+	}
+	if o.MinBlockOverlap == 0 {
+		o.MinBlockOverlap = 0.1
+	}
+	return o
+}
+
+// Stats are cumulative server counters.
+type Stats struct {
+	Submitted int64
+	Completed int64
+	// FullHits counts queries answered entirely from the data store (no raw
+	// I/O and no blocking).
+	FullHits int64
+	// Projections counts cached results projected into outputs.
+	Projections int64
+	// Blocks counts stalls on EXECUTING producers.
+	Blocks int64
+	// Canceled counts queries abandoned while still WAITING.
+	Canceled int64
+	// RawBytes counts input bytes requested from the page space manager.
+	RawBytes int64
+	// ReusedOutputBytes counts output bytes produced by projection.
+	ReusedOutputBytes int64
+	// ComputedOutputBytes counts output bytes produced from raw data.
+	ComputedOutputBytes int64
+}
+
+// Server is the query server engine.
+type Server struct {
+	rtm   rt.Runtime
+	app   query.App
+	graph *sched.Graph
+	ds    *datastore.Manager // nil = caching disabled
+	ps    *pagespace.Manager
+	opts  Options
+
+	mu     sync.Mutex
+	cond   rt.Cond
+	closed bool
+	st     Stats
+
+	emu       sync.Mutex
+	entryNode map[*datastore.Entry]*sched.Node
+}
+
+// task links a scheduling-graph node to its in-progress result; it rides in
+// Node.Payload.
+type task struct {
+	res *query.Result
+}
+
+// Ticket is the client handle for a submitted query.
+type Ticket struct {
+	node *sched.Node
+	res  *query.Result
+}
+
+// Wait blocks the calling process until the query completes and returns its
+// result.
+func (t *Ticket) Wait(ctx rt.Ctx) *query.Result {
+	t.node.Done.Wait(ctx)
+	return t.res
+}
+
+// Done reports whether the query has completed.
+func (t *Ticket) Done() bool { return t.node.Done.Opened() }
+
+// New builds a server and starts its query-thread pool. ds may be nil to
+// disable intermediate-result caching entirely (the paper's "caching off"
+// baseline).
+func New(rtm rt.Runtime, app query.App, graph *sched.Graph, ds *datastore.Manager, ps *pagespace.Manager, opts Options) *Server {
+	s := &Server{
+		rtm:       rtm,
+		app:       app,
+		graph:     graph,
+		ds:        ds,
+		ps:        ps,
+		opts:      opts.withDefaults(),
+		entryNode: map[*datastore.Entry]*sched.Node{},
+	}
+	s.cond = rtm.NewCond(&s.mu, "server work queue")
+	if ds != nil {
+		ds.OnEvict = s.onEvict
+	}
+	for i := 0; i < s.opts.Threads; i++ {
+		s.rtm.Spawn(fmt.Sprintf("query-thread-%d", i), s.worker)
+	}
+	return s
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Submit enqueues a query and returns its ticket. It may be called from any
+// process (or from plain goroutines on the real runtime).
+func (s *Server) Submit(m query.Meta) (*Ticket, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.st.Submitted++
+	s.mu.Unlock()
+
+	n := s.graph.Insert(m)
+	res := &query.Result{Meta: m, Arrival: s.rtm.Now()}
+	n.Payload = &task{res: res}
+	s.opts.Tracer.Record(res.Arrival, n.ID, trace.Submitted, m.String())
+
+	s.mu.Lock()
+	s.cond.Signal()
+	s.mu.Unlock()
+	return &Ticket{node: n, res: res}, nil
+}
+
+// Cancel abandons a query that has not started executing: its node leaves
+// the scheduling graph and its ticket completes immediately with
+// Result.Canceled set. It reports false — and changes nothing — once the
+// query is executing or done; the result then arrives normally. Use it when
+// a client disconnects with queries still queued.
+func (s *Server) Cancel(t *Ticket) bool {
+	if !s.graph.CancelWaiting(t.node) {
+		return false
+	}
+	now := s.rtm.Now()
+	t.res.Canceled = true
+	t.res.ExecStart = now
+	t.res.Completed = now
+	s.opts.Tracer.Record(now, t.node.ID, trace.Completed, "canceled")
+	s.mu.Lock()
+	s.st.Canceled++
+	s.mu.Unlock()
+	t.node.Done.Open()
+	return true
+}
+
+// Close stops the worker pool once the waiting queue drains. Queries already
+// submitted still complete.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// worker is one query thread.
+func (s *Server) worker(ctx rt.Ctx) {
+	for {
+		s.mu.Lock()
+		var n *sched.Node
+		for {
+			n = s.graph.Dequeue()
+			if n != nil {
+				break
+			}
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait(ctx)
+		}
+		s.mu.Unlock()
+		s.execute(ctx, n)
+	}
+}
+
+// execute runs one query to completion.
+func (s *Server) execute(ctx rt.Ctx, n *sched.Node) {
+	t := n.Payload.(*task)
+	res := t.res
+	res.ExecStart = s.rtm.Now()
+	s.opts.Tracer.Record(res.ExecStart, n.ID, trace.ExecStart, "")
+
+	out := s.app.NewBlob(ctx, n.Meta)
+	grid := s.app.OutputGrid(n.Meta)
+	remaining := geom.NewRegion(grid)
+	var reusedArea int64
+	waited := map[*sched.Node]bool{}
+
+	for !remaining.Empty() {
+		// Step 1: project everything useful from the data store.
+		reusedArea += s.projectFromStore(ctx, n, out, remaining)
+		if remaining.Empty() {
+			break
+		}
+		// Step 2: optionally stall on an overlapping EXECUTING producer.
+		if s.blockOnProducer(ctx, n, remaining, waited, res) {
+			continue // producer finished; retry the lookup
+		}
+		// Step 3: compute the rest from raw data (the sub-queries).
+		remaining.Coalesce()
+		for _, sub := range remaining.Rects() {
+			read := s.app.ComputeRaw(ctx, n.Meta, sub, out, s.ps)
+			res.InputBytesRead += read
+		}
+		break
+	}
+
+	res.Blob = out
+	gridArea := grid.Area()
+	if gridArea > 0 {
+		res.ReusedFrac = float64(reusedArea) / float64(gridArea)
+	}
+
+	// Step 4: store the result for reuse and settle the node state.
+	s.finish(n, out, res, reusedArea, gridArea)
+}
+
+// projectFromStore projects data-store candidates into out, returning the
+// output area newly covered.
+func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, out *query.Blob, remaining *geom.Region) int64 {
+	if s.ds == nil {
+		return 0
+	}
+	var gained int64
+	cands := s.ds.Lookup(n.Meta, s.opts.MinReuseOverlap)
+	for _, c := range cands {
+		if !remaining.Empty() {
+			coverable := s.app.Coverable(c.Entry.Blob.Meta, n.Meta)
+			if remaining.IntersectArea(coverable) > 0 {
+				covered := s.app.Project(ctx, c.Entry.Blob, n.Meta, out)
+				if !covered.Empty() {
+					newArea := remaining.IntersectArea(covered)
+					remaining.Subtract(covered)
+					gained += newArea
+					s.mu.Lock()
+					s.st.Projections++
+					s.mu.Unlock()
+				}
+			}
+		}
+		c.Entry.Unpin()
+	}
+	return gained
+}
+
+// blockOnProducer stalls on the best eligible EXECUTING producer. It returns
+// true if it waited (the caller should retry the data store lookup).
+func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, remaining *geom.Region, waited map[*sched.Node]bool, res *query.Result) bool {
+	if !s.opts.BlockOnExecuting || s.ds == nil {
+		return false
+	}
+	for _, p := range s.graph.ExecutingProducers(n) {
+		if waited[p] {
+			continue
+		}
+		// Deadlock avoidance: only block on queries that started earlier.
+		if p.ExecSeq >= n.ExecSeq {
+			continue
+		}
+		if s.app.Overlap(p.Meta, n.Meta) < s.opts.MinBlockOverlap {
+			continue
+		}
+		if remaining.IntersectArea(s.app.Coverable(p.Meta, n.Meta)) == 0 {
+			continue
+		}
+		waited[p] = true
+		res.WaitedOnExecuting++
+		s.mu.Lock()
+		s.st.Blocks++
+		s.mu.Unlock()
+		s.opts.Tracer.Record(s.rtm.Now(), n.ID, trace.Blocked, fmt.Sprintf("on q%d", p.ID))
+		p.Done.Wait(ctx)
+		s.opts.Tracer.Record(s.rtm.Now(), n.ID, trace.Unblocked, "")
+		return true
+	}
+	return false
+}
+
+// finish publishes the result and settles the scheduling-graph node.
+func (s *Server) finish(n *sched.Node, out *query.Blob, res *query.Result, reusedArea, gridArea int64) {
+	cached := false
+	if s.ds != nil {
+		if entry := s.ds.Insert(out); entry != nil {
+			s.emu.Lock()
+			s.entryNode[entry] = n
+			s.emu.Unlock()
+			s.graph.MarkCached(n)
+			if entry.Evicted() {
+				// Lost a race with a concurrent insert's eviction sweep.
+				s.emu.Lock()
+				delete(s.entryNode, entry)
+				s.emu.Unlock()
+				s.graph.Remove(n)
+			} else {
+				cached = true
+			}
+		}
+	}
+	if !cached {
+		s.graph.Remove(n)
+	}
+
+	res.Completed = s.rtm.Now()
+	s.opts.Tracer.Record(res.Completed, n.ID, trace.Completed, "")
+	s.graph.Observe(res.ResponseTime()) // feedback for self-tuning policies
+
+	s.mu.Lock()
+	s.st.Completed++
+	if reusedArea == gridArea && res.WaitedOnExecuting == 0 && res.InputBytesRead == 0 {
+		s.st.FullHits++
+	}
+	s.st.RawBytes += res.InputBytesRead
+	perPixel := int64(1)
+	if gridArea > 0 {
+		perPixel = out.Size / gridArea
+	}
+	s.st.ReusedOutputBytes += reusedArea * perPixel
+	s.st.ComputedOutputBytes += (gridArea - reusedArea) * perPixel
+	s.mu.Unlock()
+
+	n.Done.Open()
+}
+
+// onEvict is the data store hook: a reclaimed result moves its node to
+// SWAPPED OUT and removes it from the scheduling graph.
+func (s *Server) onEvict(e *datastore.Entry) {
+	s.emu.Lock()
+	n := s.entryNode[e]
+	delete(s.entryNode, e)
+	s.emu.Unlock()
+	if n != nil {
+		s.opts.Tracer.Record(s.rtm.Now(), n.ID, trace.SwappedOut, "")
+		s.graph.Remove(n)
+	}
+}
+
+// Drain submits nothing and waits (polling the runtime clock) — exposed for
+// tests on the real runtime where there is no global "run to completion".
+func (s *Server) Drain(tickets []*Ticket, ctx rt.Ctx) {
+	for _, t := range tickets {
+		t.Wait(ctx)
+	}
+}

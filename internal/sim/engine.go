@@ -1,0 +1,220 @@
+// Package sim is a deterministic discrete-event execution kernel for
+// goroutine-based processes. It stands in for the paper's 24-processor
+// Solaris SMP and its disk farm: middleware code runs as cooperative
+// processes over a virtual clock, and contended hardware (CPUs, disks) is
+// modelled with Resources. Exactly one process executes at a time and events
+// at equal timestamps fire in creation order, so every simulation run is
+// bit-for-bit reproducible regardless of the host machine.
+//
+// A process is an ordinary function running in its own goroutine. It may
+// only interact with the engine through its *Proc handle (Sleep, resource
+// acquisition, condition waits); between those calls it runs ordinary Go
+// code. Because the engine resumes one process at a time, process code needs
+// no locking against other processes — but it must never block on anything
+// except its *Proc, and must not hold a semantic invariant "locked" across a
+// call that parks (Sleep, Acquire, Wait).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Engine is a discrete-event simulation driver. Create one with New, add
+// processes with Go, then call Run.
+type Engine struct {
+	now    time.Duration
+	seq    int64
+	events eventHeap
+	yield  chan struct{} // signalled by a process when it parks or finishes
+	live   int           // processes started and not yet finished
+	parked map[*Proc]string
+	panicv any
+	ran    bool
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{
+		yield:  make(chan struct{}),
+		parked: map[*Proc]string{},
+	}
+}
+
+// Now returns the current virtual time. It may be called from process code
+// or between Run calls (never concurrently with a running engine from an
+// outside goroutine).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Proc is a process handle. All engine interaction from process code goes
+// through the Proc passed to the process function.
+type Proc struct {
+	e    *Engine
+	name string
+	// resume carries the wakeup signal from the engine. Each park is matched
+	// by exactly one resume.
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// Go registers a new process. The process starts when the engine next
+// reaches the current virtual time (immediately at the start of Run for
+// processes added before Run). fn runs in its own goroutine under engine
+// control; when fn returns the process ends.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go p.top(fn)
+	e.schedule(e.now, p)
+	return p
+}
+
+// top is the outermost frame of a process goroutine.
+func (p *Proc) top(fn func(*Proc)) {
+	<-p.resume // wait for the engine to start us
+	defer func() {
+		if r := recover(); r != nil {
+			p.e.panicv = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+		}
+		p.done = true
+		p.e.live--
+		p.e.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// Sleep advances the process by d of virtual time. Other processes run in
+// the meantime. Sleep(0) yields to any other process scheduled at the same
+// instant.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v in %q", d, p.name))
+	}
+	p.e.schedule(p.e.now+d, p)
+	p.park()
+}
+
+// Yield lets other processes scheduled at the current instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// park hands control back to the engine and blocks until resumed. The caller
+// must already have arranged a future resume (a scheduled event, or
+// membership in some waiter list).
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// parkOn parks with a reason recorded for deadlock diagnostics. The waiter
+// list owner is responsible for scheduling the resume.
+func (p *Proc) parkOn(reason string) {
+	p.e.parked[p] = reason
+	p.park()
+	delete(p.e.parked, p)
+}
+
+// schedule queues a wakeup for p at time at.
+func (e *Engine) schedule(at time.Duration, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
+}
+
+// Run executes events until none remain, then returns. If processes are
+// still alive but parked with no pending events, Run returns a
+// DeadlockError naming them. Run re-panics any panic raised inside a
+// process.
+func (e *Engine) Run() error {
+	return e.runUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= t and returns. The virtual
+// clock is left at min(t, time of last event). Processes parked at return
+// stay parked; a subsequent Run or RunUntil continues the simulation.
+func (e *Engine) RunUntil(t time.Duration) error {
+	if t < 0 {
+		return fmt.Errorf("sim: RunUntil with negative time %v", t)
+	}
+	return e.runUntil(t)
+}
+
+func (e *Engine) runUntil(t time.Duration) error {
+	e.ran = true
+	for e.events.Len() > 0 {
+		if t >= 0 && e.events[0].at > t {
+			e.now = t
+			return nil
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.p.done {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards (%v -> %v)", e.now, ev.at))
+		}
+		e.now = ev.at
+		ev.p.resume <- struct{}{}
+		<-e.yield
+		if e.panicv != nil {
+			panic(e.panicv)
+		}
+	}
+	if t < 0 && e.live > 0 {
+		return e.deadlock()
+	}
+	return nil
+}
+
+func (e *Engine) deadlock() error {
+	var waits []string
+	for p, reason := range e.parked {
+		waits = append(waits, fmt.Sprintf("%s: %s", p.name, reason))
+	}
+	sort.Strings(waits)
+	return &DeadlockError{Time: e.now, Parked: waits, Live: e.live}
+}
+
+// DeadlockError reports that the simulation stalled: live processes remain
+// but no events are pending.
+type DeadlockError struct {
+	Time   time.Duration
+	Parked []string
+	Live   int
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d live processes, parked: %v", d.Time, d.Live, d.Parked)
+}
+
+// event is a scheduled process wakeup.
+type event struct {
+	at  time.Duration
+	seq int64 // tie-break: FIFO among equal timestamps
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

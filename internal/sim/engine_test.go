@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSleepOrdering(t *testing.T) {
+	e := New()
+	var log []string
+	e.Go("a", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		log = append(log, fmt.Sprintf("a@%v", p.Now()))
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		log = append(log, fmt.Sprintf("b@%v", p.Now()))
+		p.Sleep(20 * time.Millisecond)
+		log = append(log, fmt.Sprintf("b@%v", p.Now()))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b@5ms", "a@10ms", "b@25ms"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+	if e.Now() != 25*time.Millisecond {
+		t.Fatalf("final time %v", e.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(time.Second) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v (not FIFO)", order)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var log []string
+		r := e.NewResource("disk", 1)
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+				p.Sleep(time.Duration(i%3) * time.Millisecond)
+				r.Use(p, 2*time.Millisecond)
+				log = append(log, fmt.Sprintf("%d@%v", i, p.Now()))
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := New()
+	var childTime time.Duration
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		p.e.Go("child", func(c *Proc) {
+			c.Sleep(4 * time.Millisecond)
+			childTime = c.Now()
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 7*time.Millisecond {
+		t.Fatalf("child finished at %v, want 7ms", childTime)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var ticks int
+	e.Go("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	if err := e.RunUntil(3500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("ticks=%d at %v", ticks, e.Now())
+	}
+	if e.Now() != 3500*time.Millisecond {
+		t.Fatalf("clock=%v", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks=%d after Run", ticks)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New()
+	g := e.NewGate("never-opened")
+	e.Go("stuck", func(p *Proc) { g.Wait(p) })
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if dl.Live != 1 || len(dl.Parked) != 1 {
+		t.Fatalf("deadlock = %+v", dl)
+	}
+	if dl.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	e := New()
+	e.Go("boom", func(p *Proc) { panic("kaput") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate through Run")
+		}
+	}()
+	_ = e.Run()
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := New()
+	e.Go("bad", func(p *Proc) { p.Sleep(-time.Second) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = e.Run()
+}
+
+func TestYield(t *testing.T) {
+	e := New()
+	var log []string
+	e.Go("a", func(p *Proc) {
+		log = append(log, "a1")
+		p.Yield()
+		log = append(log, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		log = append(log, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(log) != "[a1 b1 a2]" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestProcName(t *testing.T) {
+	e := New()
+	e.Go("worker-7", func(p *Proc) {
+		if p.Name() != "worker-7" {
+			t.Errorf("Name = %q", p.Name())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilNegative(t *testing.T) {
+	e := New()
+	if err := e.RunUntil(-1); err == nil {
+		t.Fatal("expected error for negative RunUntil")
+	}
+}

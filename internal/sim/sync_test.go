@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGate(t *testing.T) {
+	e := New()
+	g := e.NewGate("result-q1")
+	var woke []string
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go(fmt.Sprintf("waiter%d", i), func(p *Proc) {
+			g.Wait(p)
+			woke = append(woke, fmt.Sprintf("w%d@%v", i, p.Now()))
+		})
+	}
+	e.Go("opener", func(p *Proc) {
+		p.Sleep(42 * time.Millisecond)
+		g.Open()
+		g.Open() // double-open is a no-op
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke = %v", woke)
+	}
+	for i, w := range woke {
+		if w != fmt.Sprintf("w%d@42ms", i) {
+			t.Fatalf("woke = %v", woke)
+		}
+	}
+	if !g.Opened() {
+		t.Error("gate should be open")
+	}
+}
+
+func TestGateWaitAfterOpen(t *testing.T) {
+	e := New()
+	g := e.NewGate("x")
+	g.Open()
+	var at time.Duration = -1
+	e.Go("late", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		g.Wait(p) // returns immediately
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != time.Millisecond {
+		t.Fatalf("late waiter resumed at %v", at)
+	}
+}
+
+func TestCondBroadcastSignal(t *testing.T) {
+	e := New()
+	c := e.NewCond("queue")
+	var woke int
+	for i := 0; i < 4; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	e.Go("ctrl", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		if c.Waiters() != 4 {
+			t.Errorf("Waiters = %d", c.Waiters())
+		}
+		c.Signal() // wakes exactly one
+		p.Sleep(time.Millisecond)
+		if woke != 1 {
+			t.Errorf("after Signal woke=%d", woke)
+		}
+		c.Broadcast() // wakes the rest
+		p.Sleep(time.Millisecond)
+		if woke != 4 {
+			t.Errorf("after Broadcast woke=%d", woke)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Signalling an empty cond is a no-op.
+	c.Signal()
+	c.Broadcast()
+}
+
+func TestResourceFCFS(t *testing.T) {
+	e := New()
+	r := e.NewResource("disk", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v (not FCFS)", order)
+		}
+	}
+	// Serialized: 5 * 10ms.
+	if e.Now() != 50*time.Millisecond {
+		t.Fatalf("finish time %v", e.Now())
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	e := New()
+	r := e.NewResource("cpu", 4)
+	for i := 0; i < 8; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 jobs on 4 servers: two waves of 10ms.
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("finish time %v, want 20ms", e.Now())
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := New()
+	r := e.NewResource("r", 1)
+	e.Go("p", func(p *Proc) {
+		if !r.TryAcquire() {
+			t.Error("first TryAcquire should succeed")
+		}
+		if r.TryAcquire() {
+			t.Error("second TryAcquire should fail")
+		}
+		r.Release()
+		if r.InUse() != 0 {
+			t.Errorf("InUse = %d", r.InUse())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceReleaseTransfers(t *testing.T) {
+	e := New()
+	r := e.NewResource("r", 1)
+	var got []string
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(5 * time.Millisecond)
+		r.Release()
+		got = append(got, "released")
+	})
+	e.Go("waiter", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p) // parks; ownership transfers on release
+		got = append(got, fmt.Sprintf("acquired@%v inUse=%d", p.Now(), r.InUse()))
+		r.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[released acquired@5ms inUse=1]" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := New()
+	r := e.NewResource("disk", 2)
+	e.Go("a", func(p *Proc) { r.Use(p, 10*time.Millisecond) })
+	e.Go("b", func(p *Proc) { r.Use(p, 10*time.Millisecond) })
+	e.Go("idle", func(p *Proc) { p.Sleep(20 * time.Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 servers busy for 10ms of a 20ms run: utilization 0.5.
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestResourceMeanQueue(t *testing.T) {
+	e := New()
+	r := e.NewResource("disk", 1)
+	for i := 0; i < 3; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) { r.Use(p, 10*time.Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q := r.MeanQueueLen(); q <= 0 {
+		t.Fatalf("MeanQueueLen = %v, want > 0", q)
+	}
+	if r.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", r.QueueLen())
+	}
+	if r.Capacity() != 1 {
+		t.Fatalf("Capacity = %d", r.Capacity())
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	e := New()
+	r := e.NewResource("r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.NewResource("bad", 0)
+}
+
+// Property: with random service demands on a single-server resource, total
+// makespan equals the sum of service times plus the latest arrival gap, and
+// FCFS order is preserved.
+func TestResourceFCFSProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		e := New()
+		r := e.NewResource("disk", 1)
+		n := rng.Intn(10) + 1
+		var total time.Duration
+		var order []int
+		for i := 0; i < n; i++ {
+			i := i
+			d := time.Duration(rng.Intn(20)+1) * time.Millisecond
+			total += d
+			e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+				r.Use(p, d)
+				order = append(order, i)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if e.Now() != total {
+			t.Fatalf("trial %d: makespan %v, want %v", trial, e.Now(), total)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("trial %d: order %v", trial, order)
+			}
+		}
+	}
+}

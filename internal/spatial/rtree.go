@@ -1,0 +1,345 @@
+// Package spatial implements an in-memory R-tree over integer rectangles.
+// It backs the index manager's lookups: the data store manager uses it to
+// find cached intermediate results whose regions intersect a new query
+// window, and the scheduling graph uses it to find overlap candidates
+// without scanning every node.
+//
+// The implementation is a classic Guttman R-tree with quadratic split.
+package spatial
+
+import (
+	"fmt"
+
+	"mqsched/internal/geom"
+)
+
+const (
+	maxEntries = 8
+	minEntries = 3
+)
+
+// Tree is an R-tree mapping rectangles to values of type T. Values are
+// compared with the provided identity function on Delete. The zero Tree is
+// not ready; use NewTree.
+type Tree[T comparable] struct {
+	root *node[T]
+	size int
+}
+
+// NewTree returns an empty tree.
+func NewTree[T comparable]() *Tree[T] {
+	return &Tree[T]{root: &node[T]{leaf: true}}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree[T]) Len() int { return t.size }
+
+type entry[T comparable] struct {
+	rect  geom.Rect
+	child *node[T] // nil for leaf entries
+	value T        // meaningful for leaf entries
+}
+
+type node[T comparable] struct {
+	leaf    bool
+	entries []entry[T]
+}
+
+// bounds returns the minimum bounding rectangle of the node's entries.
+func (n *node[T]) bounds() geom.Rect {
+	var b geom.Rect
+	for _, e := range n.entries {
+		b = b.Union(e.rect)
+	}
+	return b
+}
+
+// Insert adds value with bounding rectangle r. Empty rectangles are
+// rejected: a cached result always covers at least one pixel.
+func (t *Tree[T]) Insert(r geom.Rect, value T) {
+	if r.Empty() {
+		panic("spatial: Insert with empty rectangle")
+	}
+	t.insertEntry(entry[T]{rect: r, value: value}, true)
+	t.size++
+}
+
+func (t *Tree[T]) insertEntry(e entry[T], intoLeaf bool) {
+	n := t.chooseNode(t.root, e.rect, intoLeaf)
+	n.entries = append(n.entries, e)
+	t.adjust(n)
+}
+
+// chooseNode descends to the node where e should be placed: a leaf for data
+// entries, or the level above leaves for orphaned subtrees of height 1 (the
+// only case reinsertion produces here, because condense reinserts leaf
+// entries individually).
+func (t *Tree[T]) chooseNode(n *node[T], r geom.Rect, intoLeaf bool) *node[T] {
+	for {
+		if n.leaf {
+			return n
+		}
+		if !intoLeaf && n.entries[0].child.leaf {
+			return n
+		}
+		best := -1
+		var bestGrowth, bestArea int64
+		for i, e := range n.entries {
+			grown := e.rect.Union(r)
+			growth := grown.Area() - e.rect.Area()
+			if best == -1 || growth < bestGrowth || (growth == bestGrowth && e.rect.Area() < bestArea) {
+				best, bestGrowth, bestArea = i, growth, e.rect.Area()
+			}
+		}
+		n = n.entries[best].child
+	}
+}
+
+// adjust walks back up from n splitting overflowing nodes and fixing
+// bounding rectangles. Because nodes do not store parent pointers, we
+// re-derive the path from the root each time (trees here are small; clarity
+// over constant factors).
+func (t *Tree[T]) adjust(n *node[T]) {
+	path := t.pathTo(n)
+	for i := len(path) - 1; i >= 0; i-- {
+		cur := path[i]
+		if len(cur.entries) <= maxEntries {
+			continue
+		}
+		left, right := split(cur)
+		if i == 0 {
+			// Grow the tree: new root with the two halves.
+			t.root = &node[T]{leaf: false, entries: []entry[T]{
+				{rect: left.bounds(), child: left},
+				{rect: right.bounds(), child: right},
+			}}
+			continue
+		}
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == cur {
+				parent.entries[j] = entry[T]{rect: left.bounds(), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry[T]{rect: right.bounds(), child: right})
+	}
+	t.tighten(t.root)
+}
+
+// tighten recomputes child bounding rectangles bottom-up.
+func (t *Tree[T]) tighten(n *node[T]) {
+	if n.leaf {
+		return
+	}
+	for i := range n.entries {
+		t.tighten(n.entries[i].child)
+		n.entries[i].rect = n.entries[i].child.bounds()
+	}
+}
+
+// pathTo returns the root..n chain of nodes.
+func (t *Tree[T]) pathTo(target *node[T]) []*node[T] {
+	var path []*node[T]
+	var walk func(n *node[T]) bool
+	walk = func(n *node[T]) bool {
+		path = append(path, n)
+		if n == target {
+			return true
+		}
+		if !n.leaf {
+			for _, e := range n.entries {
+				if walk(e.child) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if !walk(t.root) {
+		panic("spatial: node not reachable from root")
+	}
+	return path
+}
+
+// split divides an overflowing node using Guttman's quadratic method.
+func split[T comparable](n *node[T]) (*node[T], *node[T]) {
+	ents := n.entries
+	// Pick seeds: the pair wasting the most area if grouped.
+	var s1, s2 int
+	worst := int64(-1)
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			waste := ents[i].rect.Union(ents[j].rect).Area() - ents[i].rect.Area() - ents[j].rect.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	left := &node[T]{leaf: n.leaf, entries: []entry[T]{ents[s1]}}
+	right := &node[T]{leaf: n.leaf, entries: []entry[T]{ents[s2]}}
+	lb, rb := ents[s1].rect, ents[s2].rect
+	rest := make([]entry[T], 0, len(ents)-2)
+	for i, e := range ents {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for i, e := range rest {
+		remaining := len(rest) - i
+		switch {
+		case len(left.entries)+remaining <= minEntries:
+			left.entries = append(left.entries, e)
+			lb = lb.Union(e.rect)
+		case len(right.entries)+remaining <= minEntries:
+			right.entries = append(right.entries, e)
+			rb = rb.Union(e.rect)
+		default:
+			lGrow := lb.Union(e.rect).Area() - lb.Area()
+			rGrow := rb.Union(e.rect).Area() - rb.Area()
+			if lGrow < rGrow || (lGrow == rGrow && len(left.entries) <= len(right.entries)) {
+				left.entries = append(left.entries, e)
+				lb = lb.Union(e.rect)
+			} else {
+				right.entries = append(right.entries, e)
+				rb = rb.Union(e.rect)
+			}
+		}
+	}
+	return left, right
+}
+
+// Search appends to out every value whose rectangle intersects r, and
+// returns the extended slice. Pass nil to allocate.
+func (t *Tree[T]) Search(r geom.Rect, out []T) []T {
+	if r.Empty() {
+		return out
+	}
+	return search(t.root, r, out)
+}
+
+func search[T comparable](n *node[T], r geom.Rect, out []T) []T {
+	for _, e := range n.entries {
+		if !e.rect.Overlaps(r) {
+			continue
+		}
+		if n.leaf {
+			out = append(out, e.value)
+		} else {
+			out = search(e.child, r, out)
+		}
+	}
+	return out
+}
+
+// Delete removes the entry with exactly rectangle r and value v, reporting
+// whether it was found. If duplicates exist, one is removed.
+func (t *Tree[T]) Delete(r geom.Rect, v T) bool {
+	leaf, idx := findLeaf(t.root, r, v)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	// Shrink the root if it has a single non-leaf child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root.leaf = true
+	}
+	t.tighten(t.root)
+	return true
+}
+
+func findLeaf[T comparable](n *node[T], r geom.Rect, v T) (*node[T], int) {
+	for i, e := range n.entries {
+		if n.leaf {
+			if e.value == v && e.rect.Eq(r) {
+				return n, i
+			}
+			continue
+		}
+		if e.rect.Contains(r) {
+			if leaf, idx := findLeaf(e.child, r, v); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense removes underfull nodes on the path to leaf and reinserts their
+// data entries.
+func (t *Tree[T]) condense(leaf *node[T]) {
+	path := t.pathTo(leaf)
+	var orphans []entry[T]
+	for i := len(path) - 1; i >= 1; i-- {
+		cur := path[i]
+		if len(cur.entries) >= minEntries {
+			continue
+		}
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == cur {
+				parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+				break
+			}
+		}
+		orphans = append(orphans, collectLeafEntries(cur)...)
+	}
+	for _, e := range orphans {
+		t.insertEntry(e, true)
+	}
+}
+
+func collectLeafEntries[T comparable](n *node[T]) []entry[T] {
+	if n.leaf {
+		return n.entries
+	}
+	var out []entry[T]
+	for _, e := range n.entries {
+		out = append(out, collectLeafEntries(e.child)...)
+	}
+	return out
+}
+
+// checkInvariants validates tree structure; used by tests.
+func (t *Tree[T]) checkInvariants() error {
+	count := 0
+	var walk func(n *node[T], depth int) (int, error)
+	walk = func(n *node[T], depth int) (int, error) {
+		if n != t.root && (len(n.entries) < minEntries || len(n.entries) > maxEntries) {
+			return 0, fmt.Errorf("node at depth %d has %d entries", depth, len(n.entries))
+		}
+		if n.leaf {
+			count += len(n.entries)
+			return depth, nil
+		}
+		leafDepth := -1
+		for _, e := range n.entries {
+			if !e.rect.Eq(e.child.bounds()) {
+				return 0, fmt.Errorf("stale bounding rect at depth %d: %v != %v", depth, e.rect, e.child.bounds())
+			}
+			d, err := walk(e.child, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if leafDepth != d {
+				return 0, fmt.Errorf("unbalanced tree: %d vs %d", leafDepth, d)
+			}
+		}
+		return leafDepth, nil
+	}
+	if _, err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size %d but %d entries reachable", t.size, count)
+	}
+	return nil
+}

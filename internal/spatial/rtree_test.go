@@ -1,0 +1,240 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mqsched/internal/geom"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewTree[int]()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(geom.R(0, 0, 100, 100), nil); len(got) != 0 {
+		t.Fatalf("Search on empty = %v", got)
+	}
+	if tr.Delete(geom.R(0, 0, 1, 1), 7) {
+		t.Fatal("Delete on empty succeeded")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSearchBasic(t *testing.T) {
+	tr := NewTree[string]()
+	tr.Insert(geom.R(0, 0, 10, 10), "a")
+	tr.Insert(geom.R(20, 20, 30, 30), "b")
+	tr.Insert(geom.R(5, 5, 25, 25), "c")
+
+	got := tr.Search(geom.R(8, 8, 9, 9), nil)
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("Search = %v", got)
+	}
+	if got := tr.Search(geom.R(100, 100, 110, 110), nil); len(got) != 0 {
+		t.Fatalf("disjoint Search = %v", got)
+	}
+	// Empty search rect matches nothing.
+	if got := tr.Search(geom.Rect{}, nil); len(got) != 0 {
+		t.Fatalf("empty-rect Search = %v", got)
+	}
+}
+
+func TestInsertEmptyRectPanics(t *testing.T) {
+	tr := NewTree[int]()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Insert(geom.Rect{}, 1)
+}
+
+func TestDelete(t *testing.T) {
+	tr := NewTree[int]()
+	tr.Insert(geom.R(0, 0, 10, 10), 1)
+	tr.Insert(geom.R(0, 0, 10, 10), 2) // same rect, different value
+	if !tr.Delete(geom.R(0, 0, 10, 10), 1) {
+		t.Fatal("Delete failed")
+	}
+	if tr.Delete(geom.R(0, 0, 10, 10), 1) {
+		t.Fatal("double Delete succeeded")
+	}
+	got := tr.Search(geom.R(0, 0, 10, 10), nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after delete Search = %v", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// brute is the oracle: a flat list.
+type brute struct {
+	rects  []geom.Rect
+	values []int
+}
+
+func (b *brute) insert(r geom.Rect, v int) {
+	b.rects = append(b.rects, r)
+	b.values = append(b.values, v)
+}
+
+func (b *brute) delete(r geom.Rect, v int) bool {
+	for i := range b.values {
+		if b.values[i] == v && b.rects[i].Eq(r) {
+			b.rects = append(b.rects[:i], b.rects[i+1:]...)
+			b.values = append(b.values[:i], b.values[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (b *brute) search(r geom.Rect) []int {
+	var out []int
+	for i := range b.values {
+		if b.rects[i].Overlaps(r) {
+			out = append(out, b.values[i])
+		}
+	}
+	return out
+}
+
+func randTestRect(rng *rand.Rand) geom.Rect {
+	x0, y0 := rng.Int63n(1000), rng.Int63n(1000)
+	return geom.R(x0, y0, x0+rng.Int63n(200)+1, y0+rng.Int63n(200)+1)
+}
+
+// Property test: random insert/delete/search sequences agree with the brute
+// force oracle, and structural invariants hold throughout.
+func TestAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	tr := NewTree[int]()
+	or := &brute{}
+	next := 0
+	live := map[int]geom.Rect{}
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(live) == 0: // insert
+			r := randTestRect(rng)
+			tr.Insert(r, next)
+			or.insert(r, next)
+			live[next] = r
+			next++
+		case op < 8: // delete a random live value
+			var v int
+			k := rng.Intn(len(live))
+			for cand := range live {
+				if k == 0 {
+					v = cand
+					break
+				}
+				k--
+			}
+			r := live[v]
+			gotOK := tr.Delete(r, v)
+			wantOK := or.delete(r, v)
+			if gotOK != wantOK || !gotOK {
+				t.Fatalf("step %d: Delete = %v, oracle %v", step, gotOK, wantOK)
+			}
+			delete(live, v)
+		default: // search
+			q := randTestRect(rng)
+			got := tr.Search(q, nil)
+			want := or.search(q)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: search %v: got %d results, want %d", step, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: search mismatch %v vs %v", step, got, want)
+				}
+			}
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: Len = %d, live = %d", step, tr.Len(), len(live))
+		}
+		if step%97 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Deleting everything returns the tree to a usable empty state.
+func TestDrainAndRefill(t *testing.T) {
+	tr := NewTree[int]()
+	rng := rand.New(rand.NewSource(9))
+	rects := make([]geom.Rect, 200)
+	for i := range rects {
+		rects[i] = randTestRect(rng)
+		tr.Insert(rects[i], i)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rects {
+		if !tr.Delete(r, i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after drain", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Refill to verify the tree is still healthy.
+	for i, r := range rects {
+		tr.Insert(r, i)
+	}
+	if got := len(tr.Search(geom.R(0, 0, 1200, 1200), nil)); got != 200 {
+		t.Fatalf("refill Search found %d", got)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchAppendsToOut(t *testing.T) {
+	tr := NewTree[int]()
+	tr.Insert(geom.R(0, 0, 5, 5), 1)
+	out := []int{99}
+	out = tr.Search(geom.R(0, 0, 10, 10), out)
+	if len(out) != 2 || out[0] != 99 || out[1] != 1 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTree[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(randTestRect(rng), i)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTree[int]()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(randTestRect(rng), i)
+	}
+	b.ResetTimer()
+	var out []int
+	for i := 0; i < b.N; i++ {
+		out = tr.Search(randTestRect(rng), out[:0])
+	}
+}

@@ -1,0 +1,227 @@
+// Package trace records query lifecycle events (submit, execution start,
+// blocking on a producer, completion, cache state changes) and renders them
+// as an ASCII Gantt chart — a direct visualization of what each ranking
+// strategy does to the schedule. The recorder is optional: the server takes
+// a nil *Recorder to disable tracing with no overhead beyond a nil check.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind labels a lifecycle event.
+type Kind uint8
+
+const (
+	// Submitted: the query entered the scheduling graph (WAITING).
+	Submitted Kind = iota
+	// ExecStart: a query thread dequeued the query (EXECUTING).
+	ExecStart
+	// Blocked: the query stalled on an executing producer.
+	Blocked
+	// Unblocked: the producer finished and the query resumed.
+	Unblocked
+	// Completed: the result was returned (CACHED or removed).
+	Completed
+	// SwappedOut: the cached result was reclaimed.
+	SwappedOut
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Submitted:
+		return "submitted"
+	case ExecStart:
+		return "exec-start"
+	case Blocked:
+		return "blocked"
+	case Unblocked:
+		return "unblocked"
+	case Completed:
+		return "completed"
+	case SwappedOut:
+		return "swapped-out"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded lifecycle transition.
+type Event struct {
+	At      time.Duration
+	QueryID int64
+	Kind    Kind
+	Note    string
+}
+
+// Recorder accumulates events. Safe for concurrent use; a nil *Recorder
+// discards everything.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends one event. No-op on a nil recorder.
+func (r *Recorder) Record(at time.Duration, queryID int64, kind Kind, note string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{At: at, QueryID: queryID, Kind: kind, Note: note})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// span is the reconstructed lifecycle of one query.
+type span struct {
+	id               int64
+	submit, start    time.Duration
+	complete         time.Duration
+	blocked          []timeRange
+	hasStart, hasEnd bool
+}
+
+type timeRange struct{ from, to time.Duration }
+
+// spans groups events per query, ordered by submission.
+func (r *Recorder) spans() []*span {
+	byID := map[int64]*span{}
+	var order []*span
+	for _, e := range r.Events() {
+		s := byID[e.QueryID]
+		if s == nil {
+			s = &span{id: e.QueryID, submit: e.At}
+			byID[e.QueryID] = s
+			order = append(order, s)
+		}
+		switch e.Kind {
+		case Submitted:
+			s.submit = e.At
+		case ExecStart:
+			s.start, s.hasStart = e.At, true
+		case Blocked:
+			s.blocked = append(s.blocked, timeRange{from: e.At, to: -1})
+		case Unblocked:
+			for i := len(s.blocked) - 1; i >= 0; i-- {
+				if s.blocked[i].to < 0 {
+					s.blocked[i].to = e.At
+					break
+				}
+			}
+		case Completed:
+			s.complete, s.hasEnd = e.At, true
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].submit != order[j].submit {
+			return order[i].submit < order[j].submit
+		}
+		return order[i].id < order[j].id
+	})
+	return order
+}
+
+// Gantt renders the schedule: one row per query, time scaled to width
+// columns. Legend: '·' waiting in queue, '█' executing, 'x' blocked on a
+// producer.
+func (r *Recorder) Gantt(width int) string {
+	if r == nil || r.Len() == 0 {
+		return "(no events)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	spans := r.spans()
+	var end time.Duration
+	for _, s := range spans {
+		if s.complete > end {
+			end = s.complete
+		}
+	}
+	if end == 0 {
+		return "(no completed queries)\n"
+	}
+	col := func(t time.Duration) int {
+		c := int(int64(t) * int64(width-1) / int64(end))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule over %v (one row per query; '·' waiting, '█' executing, 'x' blocked)\n", end.Round(time.Millisecond))
+	for _, s := range spans {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		if !s.hasStart || !s.hasEnd {
+			continue
+		}
+		for c := col(s.submit); c <= col(s.start); c++ {
+			row[c] = '·'
+		}
+		for c := col(s.start); c <= col(s.complete); c++ {
+			row[c] = '█'
+		}
+		for _, br := range s.blocked {
+			to := br.to
+			if to < 0 {
+				to = s.complete
+			}
+			for c := col(br.from); c <= col(to); c++ {
+				row[c] = 'x'
+			}
+		}
+		fmt.Fprintf(&b, "q%-4d %s\n", s.id, string(row))
+	}
+	return b.String()
+}
+
+// Summary aggregates per-kind counts.
+func (r *Recorder) Summary() string {
+	counts := map[Kind]int{}
+	for _, e := range r.Events() {
+		counts[e.Kind]++
+	}
+	var kinds []Kind
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}

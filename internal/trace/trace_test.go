@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, 1, Submitted, "")
+	if r.Events() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder should be inert")
+	}
+	if r.Gantt(40) == "" {
+		t.Fatal("nil recorder Gantt should render a placeholder")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New()
+	r.Record(1*time.Second, 1, Submitted, "q")
+	r.Record(2*time.Second, 1, ExecStart, "")
+	r.Record(5*time.Second, 1, Completed, "")
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].Kind != Submitted || ev[2].Kind != Completed || ev[1].At != 2*time.Second {
+		t.Fatalf("events = %+v", ev)
+	}
+	// Events returns a copy.
+	ev[0].QueryID = 99
+	if r.Events()[0].QueryID != 1 {
+		t.Fatal("Events did not copy")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{Submitted, ExecStart, Blocked, Unblocked, Completed, SwappedOut, Kind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("Kind(%d) has empty string", k)
+		}
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := New()
+	// q1: waits 0-2s, executes 2-6s, blocked 3-4s.
+	r.Record(0, 1, Submitted, "")
+	r.Record(2*time.Second, 1, ExecStart, "")
+	r.Record(3*time.Second, 1, Blocked, "on q2")
+	r.Record(4*time.Second, 1, Unblocked, "")
+	r.Record(6*time.Second, 1, Completed, "")
+	// q2: starts immediately, completes at 4s.
+	r.Record(0, 2, Submitted, "")
+	r.Record(0, 2, ExecStart, "")
+	r.Record(4*time.Second, 2, Completed, "")
+
+	g := r.Gantt(60)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("gantt:\n%s", g)
+	}
+	if !strings.Contains(lines[1], "q1") || !strings.Contains(lines[1], "·") ||
+		!strings.Contains(lines[1], "█") || !strings.Contains(lines[1], "x") {
+		t.Fatalf("q1 row missing phases: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "x") {
+		t.Fatalf("q2 row should have no blocked phase: %q", lines[2])
+	}
+	// Tiny width clamps.
+	if g := r.Gantt(1); g == "" {
+		t.Fatal("small-width Gantt empty")
+	}
+}
+
+func TestGanttEdgeCases(t *testing.T) {
+	r := New()
+	if got := r.Gantt(40); !strings.Contains(got, "no events") {
+		t.Fatalf("empty recorder: %q", got)
+	}
+	r.Record(0, 1, Submitted, "")
+	if got := r.Gantt(40); !strings.Contains(got, "no completed") {
+		t.Fatalf("no completions: %q", got)
+	}
+	// A query blocked at completion (unclosed range) must not panic.
+	r.Record(time.Second, 1, ExecStart, "")
+	r.Record(2*time.Second, 1, Blocked, "")
+	r.Record(3*time.Second, 1, Completed, "")
+	if got := r.Gantt(40); !strings.Contains(got, "q1") {
+		t.Fatalf("unclosed block: %q", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New()
+	r.Record(0, 1, Submitted, "")
+	r.Record(0, 2, Submitted, "")
+	r.Record(time.Second, 1, Completed, "")
+	s := r.Summary()
+	if !strings.Contains(s, "submitted=2") || !strings.Contains(s, "completed=1") {
+		t.Fatalf("summary = %q", s)
+	}
+}

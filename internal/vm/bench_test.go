@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"testing"
+
+	"mqsched/internal/geom"
+)
+
+// Micro-benchmarks for the real-data kernels (the synthetic runtime charges
+// modelled costs instead; these measure the actual Go implementations used
+// by the examples and the live server).
+
+func benchApp(b *testing.B) (*App, *fakeCtx, Meta, *directReader) {
+	app, l := newApp(2048, 2048)
+	ctx := &fakeCtx{}
+	m := NewMeta("s1", geom.R(0, 0, 1024, 1024), 4, Subsample)
+	return app, ctx, m, &directReader{l: l}
+}
+
+func BenchmarkSubsampleKernel(b *testing.B) {
+	app, ctx, m, pr := benchApp(b)
+	out := app.NewBlob(ctx, m)
+	// Warm the reader's pages out of the measurement by timing only the
+	// compute (the direct reader regenerates pages each call; to isolate the
+	// kernel, measure the full ComputeRaw and report bytes).
+	b.SetBytes(app.QInSize(m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.ComputeRaw(ctx, m, m.OutRect(), out, pr)
+	}
+}
+
+func BenchmarkAverageKernel(b *testing.B) {
+	app, ctx, _, pr := benchApp(b)
+	m := NewMeta("s1", geom.R(0, 0, 1024, 1024), 4, Average)
+	out := app.NewBlob(ctx, m)
+	b.SetBytes(app.QInSize(m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.ComputeRaw(ctx, m, m.OutRect(), out, pr)
+	}
+}
+
+func BenchmarkProjectSameZoom(b *testing.B) {
+	app, ctx, _, pr := benchApp(b)
+	src := NewMeta("s1", geom.R(0, 0, 2048, 2048), 4, Subsample)
+	srcBlob := app.NewBlob(ctx, src)
+	app.ComputeRaw(ctx, src, src.OutRect(), srcBlob, pr)
+	dst := NewMeta("s1", geom.R(512, 512, 1536, 1536), 4, Subsample)
+	out := app.NewBlob(ctx, dst)
+	b.SetBytes(dst.OutRect().Area() * BytesPerPixel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Project(ctx, srcBlob, dst, out)
+	}
+}
+
+func BenchmarkProjectCrossZoomAverage(b *testing.B) {
+	app, ctx, _, pr := benchApp(b)
+	src := NewMeta("s1", geom.R(0, 0, 2048, 2048), 2, Average)
+	srcBlob := app.NewBlob(ctx, src)
+	app.ComputeRaw(ctx, src, src.OutRect(), srcBlob, pr)
+	dst := NewMeta("s1", geom.R(0, 0, 2048, 2048), 8, Average)
+	out := app.NewBlob(ctx, dst)
+	b.SetBytes(dst.OutRect().Area() * BytesPerPixel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Project(ctx, srcBlob, dst, out)
+	}
+}
+
+func BenchmarkOverlapOperator(b *testing.B) {
+	app, _, _, _ := benchApp(b)
+	x := NewMeta("s1", geom.R(0, 0, 1024, 1024), 2, Subsample)
+	y := NewMeta("s1", geom.R(512, 512, 1536, 1536), 4, Subsample)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Overlap(x, y)
+	}
+}
+
+func BenchmarkGeneratePage(b *testing.B) {
+	l := NewSlide("s1", 2048, 2048)
+	b.SetBytes(l.FullPageBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GeneratePage(l, i%l.NumPages())
+	}
+}

@@ -1,0 +1,459 @@
+// Package vm implements the Virtual Microscope application (paper §3) on the
+// multi-query runtime system: "a realistic digital emulation of a high power
+// light microscope". Raw input data are 2-D digitized slides stored at the
+// highest magnification, partitioned into ~64 KB rectangular chunks. A query
+// names a rectangular window, a magnification level N, and one of two
+// processing functions:
+//
+//   - Subsample: return every N-th pixel of the window in both dimensions —
+//     cheap per output pixel, so the implementation is I/O-intensive.
+//   - Average: each output pixel is the mean of N×N input pixels — it
+//     touches every input pixel, so CPU and I/O are roughly balanced.
+//
+// The output image at magnification N is itself stored in the data store as
+// an intermediate result. The overlap operator is Equation (4):
+//
+//	overlap index = (I_A / O_A) · (I_S / O_S)
+//
+// where I_A is the intersection area between the cached result and the query
+// region, O_A the query region's area, I_S the zoom of the cached result and
+// O_S the query's zoom; O_S must be a multiple of I_S (and the processing
+// function must match), otherwise the overlap is 0.
+package vm
+
+import (
+	"fmt"
+	"time"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/geom"
+	"mqsched/internal/query"
+	"mqsched/internal/rt"
+)
+
+// Op selects the processing function of a query object.
+type Op uint8
+
+const (
+	// Subsample returns every N-th pixel (the I/O-intensive implementation).
+	Subsample Op = iota
+	// Average computes each output pixel as the mean of N×N input pixels
+	// (the balanced implementation).
+	Average
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Subsample:
+		return "subsample"
+	case Average:
+		return "average"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// ParseOp converts a name to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "subsample", "sub":
+		return Subsample, nil
+	case "average", "avg":
+		return Average, nil
+	}
+	return 0, fmt.Errorf("vm: unknown op %q", s)
+}
+
+// BytesPerPixel is the RGB pixel size of VM slides.
+const BytesPerPixel = 3
+
+// Meta is a VM query predicate: "the magnification level, the processing
+// function, and the bounding box of the output image in the entire dataset
+// are stored as meta-data" (§3).
+type Meta struct {
+	DS   string
+	Rect geom.Rect // window at base resolution; aligned to Zoom
+	Zoom int64     // magnification reduction factor N ≥ 1
+	Op   Op
+}
+
+// NewMeta validates and builds a predicate. The window must be non-empty and
+// aligned to the zoom factor (use AlignRect) so that the output grid is
+// exact.
+func NewMeta(ds string, r geom.Rect, zoom int64, op Op) Meta {
+	if zoom < 1 {
+		panic(fmt.Sprintf("vm: zoom %d < 1", zoom))
+	}
+	if r.Empty() {
+		panic("vm: empty query window")
+	}
+	if r.X0%zoom != 0 || r.Y0%zoom != 0 || r.X1%zoom != 0 || r.Y1%zoom != 0 {
+		panic(fmt.Sprintf("vm: window %v not aligned to zoom %d", r, zoom))
+	}
+	return Meta{DS: ds, Rect: r, Zoom: zoom, Op: op}
+}
+
+// AlignRect expands r outward to zoom-aligned coordinates, clipped to
+// bounds (whose corners must themselves be aligned).
+func AlignRect(r geom.Rect, zoom int64, bounds geom.Rect) geom.Rect {
+	a := geom.Rect{
+		X0: geom.FloorDiv(r.X0, zoom) * zoom,
+		Y0: geom.FloorDiv(r.Y0, zoom) * zoom,
+		X1: geom.CeilDiv(r.X1, zoom) * zoom,
+		Y1: geom.CeilDiv(r.Y1, zoom) * zoom,
+	}
+	return a.Intersect(bounds)
+}
+
+// Dataset implements query.Meta.
+func (m Meta) Dataset() string { return m.DS }
+
+// Region implements query.Meta.
+func (m Meta) Region() geom.Rect { return m.Rect }
+
+// String implements query.Meta.
+func (m Meta) String() string {
+	return fmt.Sprintf("vm(%s, %v, zoom=%d, %v)", m.DS, m.Rect, m.Zoom, m.Op)
+}
+
+// OutRect is the output image grid in absolute output coordinates: output
+// pixel (X, Y) covers base pixels [X·Zoom, (X+1)·Zoom) × [Y·Zoom, (Y+1)·Zoom).
+func (m Meta) OutRect() geom.Rect { return m.Rect.Scale(m.Zoom) }
+
+// CostModel holds the modelled per-operation CPU costs used on the
+// synthetic runtime. Defaults approximate the paper's 2002-era SMP (virtual
+// method dispatch per pixel): they yield CPU:I/O between 0.04 and 0.06 for
+// the subsampling version and near 1:1 for the averaging version under the
+// paper's workload (§5).
+type CostModel struct {
+	// SubsamplePerOutPixel is charged per output pixel produced by the
+	// subsampling function.
+	SubsamplePerOutPixel time.Duration
+	// AveragePerInPixel is charged per input pixel aggregated by the
+	// averaging function.
+	AveragePerInPixel time.Duration
+	// ProjectPerSrcPixel is charged per source pixel touched while
+	// projecting a cached result onto a new query.
+	ProjectPerSrcPixel time.Duration
+	// PerPageOverhead is charged per chunk for clipping and bookkeeping.
+	PerPageOverhead time.Duration
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		SubsamplePerOutPixel: 280 * time.Nanosecond,
+		AveragePerInPixel:    390 * time.Nanosecond,
+		ProjectPerSrcPixel:   12 * time.Nanosecond,
+		PerPageOverhead:      30 * time.Microsecond,
+	}
+}
+
+// App is the Virtual Microscope application object registered with the
+// runtime system.
+type App struct {
+	Table *dataset.Table
+	Costs CostModel
+	// PrefetchDepth, when positive, starts background fetches for the next
+	// PrefetchDepth chunks while processing the current one (requires a
+	// PageReader implementing query.Prefetcher). 0 — the paper's behaviour —
+	// reads chunks strictly synchronously.
+	PrefetchDepth int
+}
+
+// New returns the VM app over the given slides with default costs.
+func New(table *dataset.Table) *App {
+	return &App{Table: table, Costs: DefaultCosts()}
+}
+
+var _ query.App = (*App)(nil)
+
+// Name implements query.App.
+func (a *App) Name() string { return "virtual-microscope" }
+
+// Cmp implements Equation (1): exact predicate equality means the cached
+// blob is the full answer.
+func (a *App) Cmp(x, y query.Meta) bool {
+	mx, okx := x.(Meta)
+	my, oky := y.(Meta)
+	return okx && oky && mx == my
+}
+
+// Overlap implements Equation (2) via the VM overlap index of Equation (4).
+func (a *App) Overlap(src, dst query.Meta) float64 {
+	s, oks := src.(Meta)
+	d, okd := dst.(Meta)
+	if !oks || !okd || s.DS != d.DS || s.Op != d.Op {
+		return 0
+	}
+	// O_S must be a multiple of I_S so the intermediate result can be
+	// transformed to the query's magnification.
+	if d.Zoom%s.Zoom != 0 {
+		return 0
+	}
+	ia := s.Rect.Intersect(d.Rect).Area()
+	if ia == 0 {
+		return 0
+	}
+	oa := d.Rect.Area()
+	return (float64(ia) / float64(oa)) * (float64(s.Zoom) / float64(d.Zoom))
+}
+
+// QOutSize implements query.App: the RGB output image size.
+func (a *App) QOutSize(m query.Meta) int64 {
+	return m.(Meta).OutRect().Area() * BytesPerPixel
+}
+
+// QInSize implements query.App: total bytes of the chunks intersecting the
+// query window, "calculated in the index lookup step" (§4, SJF).
+func (a *App) QInSize(m query.Meta) int64 {
+	mm := m.(Meta)
+	return a.Table.Get(mm.DS).InputBytes(mm.Rect)
+}
+
+// OutputGrid implements query.App.
+func (a *App) OutputGrid(m query.Meta) geom.Rect { return m.(Meta).OutRect() }
+
+// QCPUCost estimates the computational demand of a query from the cost
+// model, for resource-aware scheduling (sched.CPUCostEstimator).
+func (a *App) QCPUCost(m query.Meta) time.Duration {
+	mm := m.(Meta)
+	pages := int64(len(a.Table.Get(mm.DS).PagesInRect(mm.Rect)))
+	cost := time.Duration(pages) * a.Costs.PerPageOverhead
+	switch mm.Op {
+	case Subsample:
+		cost += time.Duration(mm.OutRect().Area()) * a.Costs.SubsamplePerOutPixel
+	case Average:
+		cost += time.Duration(mm.Rect.Area()) * a.Costs.AveragePerInPixel
+	}
+	return cost
+}
+
+// NewBlob implements query.App.
+func (a *App) NewBlob(ctx rt.Ctx, m query.Meta) *query.Blob {
+	b := &query.Blob{Meta: m, Size: a.QOutSize(m)}
+	if !ctx.Synthetic() {
+		b.Data = make([]byte, b.Size)
+	}
+	return b
+}
+
+// Coverable implements query.App: the dst output pixels fully derivable
+// from a result for src.
+func (a *App) Coverable(src, dst query.Meta) geom.Rect {
+	s, oks := src.(Meta)
+	d, okd := dst.(Meta)
+	if !oks || !okd || a.Overlap(s, d) == 0 {
+		return geom.Rect{}
+	}
+	return s.Rect.Intersect(d.Rect).ScaleInner(d.Zoom)
+}
+
+// Project implements Equation (3): transform the cached image src (at zoom
+// I_S) into the portion of dst's output (at zoom O_S = k·I_S) that it
+// covers. For the subsampling function this picks every k-th source pixel;
+// for the averaging function it averages k×k source pixels (averages of
+// equal-sized averages equal the average of the underlying base pixels, so
+// the transformation is exact).
+func (a *App) Project(ctx rt.Ctx, src *query.Blob, dst query.Meta, out *query.Blob) geom.Rect {
+	s, ok := src.Meta.(Meta)
+	if !ok {
+		return geom.Rect{}
+	}
+	d := dst.(Meta)
+	if a.Overlap(s, d) == 0 {
+		return geom.Rect{}
+	}
+	baseIn := s.Rect.Intersect(d.Rect)
+	covered := baseIn.ScaleInner(d.Zoom) // dst output pixels fully derivable
+	if covered.Empty() {
+		return geom.Rect{}
+	}
+	k := d.Zoom / s.Zoom
+	srcTouched := covered.Area() * k * k
+	ctx.Compute(time.Duration(srcTouched) * a.Costs.ProjectPerSrcPixel)
+
+	if out.Data != nil && src.Data != nil {
+		a.projectPixels(src.Data, s, out.Data, d, covered, k)
+	}
+	return covered
+}
+
+// projectPixels performs the real-data transformation for Project.
+func (a *App) projectPixels(srcData []byte, s Meta, dstData []byte, d Meta, covered geom.Rect, k int64) {
+	srcOut := s.OutRect()
+	dstOut := d.OutRect()
+	for y := covered.Y0; y < covered.Y1; y++ {
+		for x := covered.X0; x < covered.X1; x++ {
+			di := pixOffset(dstOut, x, y)
+			switch d.Op {
+			case Subsample:
+				// dst sample point base (x·Zd, y·Zd) = src out pixel (x·k, y·k).
+				si := pixOffset(srcOut, x*k, y*k)
+				copy(dstData[di:di+3], srcData[si:si+3])
+			case Average:
+				var r, g, b int64
+				for v := y * k; v < (y+1)*k; v++ {
+					for u := x * k; u < (x+1)*k; u++ {
+						si := pixOffset(srcOut, u, v)
+						r += int64(srcData[si])
+						g += int64(srcData[si+1])
+						b += int64(srcData[si+2])
+					}
+				}
+				n := k * k
+				dstData[di] = byte(r / n)
+				dstData[di+1] = byte(g / n)
+				dstData[di+2] = byte(b / n)
+			}
+		}
+	}
+}
+
+// ComputeRaw implements query.App: compute output pixels of outSub (output
+// coordinates) from raw chunks. "The chunks that intersect the query region
+// are retrieved from disk. A retrieved chunk is first clipped to the query
+// window. The clipped chunk is then processed to compute the output image at
+// the desired magnification" (§3).
+func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.Blob, pr query.PageReader) int64 {
+	mm := m.(Meta)
+	l := a.Table.Get(mm.DS)
+	baseNeed := outSub.Mul(mm.Zoom).Intersect(mm.Rect)
+	if baseNeed.Empty() {
+		return 0
+	}
+
+	// Real-data averaging accumulates across chunk boundaries.
+	var acc *avgAccum
+	if out.Data != nil && mm.Op == Average {
+		acc = newAvgAccum(outSub, mm.Zoom)
+	}
+
+	pages := l.PagesInRect(baseNeed)
+	pf, canPrefetch := pr.(query.Prefetcher)
+	var read int64
+	for i, p := range pages {
+		if a.PrefetchDepth > 0 && canPrefetch {
+			for j := i + 1; j <= i+a.PrefetchDepth && j < len(pages); j++ {
+				pf.StartFetch(mm.DS, pages[j])
+			}
+		}
+		data := pr.ReadPage(ctx, mm.DS, p)
+		pageRect := l.PageRect(p)
+		piece := pageRect.Intersect(baseNeed) // clip the chunk to the window
+		if piece.Empty() {
+			continue
+		}
+		read += l.PageBytes(p)
+		ctx.Compute(a.Costs.PerPageOverhead)
+		switch mm.Op {
+		case Subsample:
+			outPiece := sampleGrid(piece, mm.Zoom)
+			ctx.Compute(time.Duration(outPiece.Area()) * a.Costs.SubsamplePerOutPixel)
+			if out.Data != nil && data != nil {
+				subsamplePixels(data, pageRect, out.Data, mm, outPiece)
+			}
+		case Average:
+			ctx.Compute(time.Duration(piece.Area()) * a.Costs.AveragePerInPixel)
+			if acc != nil && data != nil {
+				acc.add(data, pageRect, piece)
+			}
+		}
+	}
+	if acc != nil {
+		acc.finish(out.Data, mm)
+	}
+	return read
+}
+
+// sampleGrid returns the output pixels whose subsample point (X·z, Y·z)
+// falls inside base.
+func sampleGrid(base geom.Rect, z int64) geom.Rect {
+	if base.Empty() {
+		return geom.Rect{}
+	}
+	t := geom.Rect{
+		X0: geom.CeilDiv(base.X0, z),
+		Y0: geom.CeilDiv(base.Y0, z),
+		X1: geom.FloorDiv(base.X1-1, z) + 1,
+		Y1: geom.FloorDiv(base.Y1-1, z) + 1,
+	}
+	return t.Canon()
+}
+
+// pixOffset returns the byte offset of output pixel (x, y) in a blob laid
+// out row-major over grid.
+func pixOffset(grid geom.Rect, x, y int64) int64 {
+	return ((y-grid.Y0)*grid.Dx() + (x - grid.X0)) * BytesPerPixel
+}
+
+// subsamplePixels writes every z-th input pixel into the output blob.
+func subsamplePixels(page []byte, pageRect geom.Rect, dst []byte, m Meta, outPiece geom.Rect) {
+	dstOut := m.OutRect()
+	for y := outPiece.Y0; y < outPiece.Y1; y++ {
+		for x := outPiece.X0; x < outPiece.X1; x++ {
+			si := pixOffset3(pageRect, x*m.Zoom, y*m.Zoom)
+			di := pixOffset(dstOut, x, y)
+			copy(dst[di:di+3], page[si:si+3])
+		}
+	}
+}
+
+// pixOffset3 returns the byte offset of base pixel (x, y) in a page laid out
+// row-major over pageRect at 3 bytes/pixel.
+func pixOffset3(pageRect geom.Rect, x, y int64) int64 {
+	return ((y-pageRect.Y0)*pageRect.Dx() + (x - pageRect.X0)) * BytesPerPixel
+}
+
+// avgAccum accumulates per-output-pixel RGB sums across chunks: one output
+// pixel's N×N window can straddle several pages, so sums and counts persist
+// across ComputeRaw's page loop.
+type avgAccum struct {
+	grid geom.Rect
+	zoom int64
+	sums []uint64 // 3 per pixel
+	cnt  []uint32
+}
+
+func newAvgAccum(grid geom.Rect, zoom int64) *avgAccum {
+	n := grid.Area()
+	return &avgAccum{grid: grid, zoom: zoom, sums: make([]uint64, 3*n), cnt: make([]uint32, n)}
+}
+
+// add folds the base pixels of piece (inside pageRect's payload) into the
+// accumulator.
+func (a *avgAccum) add(page []byte, pageRect, piece geom.Rect) {
+	for by := piece.Y0; by < piece.Y1; by++ {
+		for bx := piece.X0; bx < piece.X1; bx++ {
+			si := pixOffset3(pageRect, bx, by)
+			ox := geom.FloorDiv(bx, a.zoom)
+			oy := geom.FloorDiv(by, a.zoom)
+			if !a.grid.ContainsPoint(ox, oy) {
+				continue
+			}
+			idx := (oy-a.grid.Y0)*a.grid.Dx() + (ox - a.grid.X0)
+			a.sums[3*idx] += uint64(page[si])
+			a.sums[3*idx+1] += uint64(page[si+1])
+			a.sums[3*idx+2] += uint64(page[si+2])
+			a.cnt[idx]++
+		}
+	}
+}
+
+// finish writes the averaged pixels into dst.
+func (a *avgAccum) finish(dst []byte, m Meta) {
+	dstOut := m.OutRect()
+	for y := a.grid.Y0; y < a.grid.Y1; y++ {
+		for x := a.grid.X0; x < a.grid.X1; x++ {
+			idx := (y-a.grid.Y0)*a.grid.Dx() + (x - a.grid.X0)
+			n := uint64(a.cnt[idx])
+			if n == 0 {
+				continue
+			}
+			di := pixOffset(dstOut, x, y)
+			dst[di] = byte(a.sums[3*idx] / n)
+			dst[di+1] = byte(a.sums[3*idx+1] / n)
+			dst[di+2] = byte(a.sums[3*idx+2] / n)
+		}
+	}
+}

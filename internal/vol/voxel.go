@@ -1,0 +1,126 @@
+package vol
+
+import "mqsched/internal/dataset"
+
+// Synthetic volume data: a deterministic voxel function with ellipsoidal
+// "structures" plus hashed noise, so MIP renders show shapes and tests can
+// compare against a brute-force oracle. This substitutes for real scientific
+// volumes (CT scans, simulation output) the same way vm's synthetic slides
+// substitute for digitized microscopy.
+
+// Voxel returns the intensity of voxel (x, y, z) of volume ds. The dims are
+// needed to place the synthetic structures.
+func Voxel(ds string, dims Dims, x, y, z int64) byte {
+	h := hash64(ds)
+	// A few ellipsoidal blobs with centers derived from the hash.
+	var best int64
+	for i := 0; i < 4; i++ {
+		hi := splitmix(h + uint64(i)*0x9e3779b97f4a7c15)
+		cx := int64(hi % uint64(maxI(dims.Width, 1)))
+		cy := int64((hi >> 16) % uint64(maxI(dims.Height, 1)))
+		cz := int64((hi >> 32) % uint64(max(dims.Depth, 1)))
+		rx := dims.Width/6 + 1
+		ry := dims.Height/6 + 1
+		rz := int64(dims.Depth)/4 + 1
+		dx := (x - cx) * 256 / rx
+		dy := (y - cy) * 256 / ry
+		dz := (z - cz) * 256 / rz
+		d2 := dx*dx + dy*dy + dz*dz
+		v := 230 - d2/512
+		if v > best {
+			best = v
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	n := splitmix(h^uint64(x)*0xbf58476d1ce4e5b9^uint64(y)*0x94d049bb133111eb^uint64(z)*0x2545f4914f6cdd1d) & 0x1f
+	v := best + int64(n)
+	if v > 255 {
+		v = 255
+	}
+	return byte(v)
+}
+
+func hash64(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generator returns the disk.Generator for volumes registered with app: the
+// page payload is row-major intensities over the stacked page rectangle.
+func (a *App) Generator() func(l *dataset.Layout, page int) []byte {
+	return func(l *dataset.Layout, page int) []byte {
+		dims, ok := a.Dims[l.Name]
+		if !ok {
+			panic("vol: generator for unregistered volume " + l.Name)
+		}
+		r := l.PageRect(page)
+		out := make([]byte, r.Area())
+		i := 0
+		for sy := r.Y0; sy < r.Y1; sy++ {
+			z := sy / dims.Height
+			y := sy % dims.Height
+			for x := r.X0; x < r.X1; x++ {
+				out[i] = Voxel(l.Name, dims, x, y, z)
+				i++
+			}
+		}
+		return out
+	}
+}
+
+// RenderOracle computes a query's output directly from Voxel — ground truth
+// for tests.
+func RenderOracle(m Meta, dims Dims) []byte {
+	grid := m.OutRect()
+	out := make([]byte, grid.Area())
+	for oy := grid.Y0; oy < grid.Y1; oy++ {
+		for ox := grid.X0; ox < grid.X1; ox++ {
+			var mx byte
+			var sum, n uint64
+			for y := oy * m.Zoom; y < (oy+1)*m.Zoom; y++ {
+				for x := ox * m.Zoom; x < (ox+1)*m.Zoom; x++ {
+					if !m.Window.ContainsPoint(x, y) {
+						continue
+					}
+					for z := m.Z0; z < m.Z1; z++ {
+						v := Voxel(m.DS, dims, x, y, int64(z))
+						if v > mx {
+							mx = v
+						}
+						sum += uint64(v)
+						n++
+					}
+				}
+			}
+			idx := (oy-grid.Y0)*grid.Dx() + (ox - grid.X0)
+			if m.Op == MIP {
+				out[idx] = mx
+			} else if n > 0 {
+				out[idx] = byte(sum / n)
+			}
+		}
+	}
+	return out
+}

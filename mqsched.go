@@ -1,0 +1,313 @@
+// Package mqsched is a multi-query scheduling middleware for data-analysis
+// applications, reproducing "Scheduling Multiple Data Visualization Query
+// Workloads on a Shared Memory Machine" (Andrade, Kurc, Sussman, Saltz;
+// IPPS 2002).
+//
+// The system answers spatial range queries with user-defined processing over
+// large 2-D datasets. Incoming queries enter a scheduling graph whose edges
+// carry reuse weights (how many bytes of one query's result can be
+// transformed into another's); a configurable ranking strategy (FIFO, MUF,
+// FF, CF, CNBF, SJF) orders execution. Completed results are kept in a
+// semantic cache (the data store manager) and projected onto later
+// overlapping queries; raw data is read through a page-cache (the page space
+// manager) over a modelled disk farm.
+//
+// Two execution substrates are provided:
+//
+//   - Simulated (deterministic virtual time): the default for experiments —
+//     it reproduces the paper's 24-processor SMP with contended CPUs and
+//     disks, machine-independently.
+//   - Real (goroutines and wall-clock time, scaled): runs the same
+//     middleware with actual pixel data; used by the examples and the TCP
+//     demo server.
+//
+// Quickstart:
+//
+//	table := mqsched.NewSlideTable(mqsched.Slide{Name: "slide1", Width: 4096, Height: 4096})
+//	sys, _ := mqsched.New(mqsched.Config{Mode: mqsched.Real, Policy: "cf"}, table)
+//	sys.RunWith(func(ctx mqsched.Ctx) {
+//	    t, _ := sys.Submit(mqsched.NewVMQuery("slide1", mqsched.R(0, 0, 1024, 1024), 4, mqsched.Subsample))
+//	    res := t.Wait(ctx)
+//	    fmt.Println(res.ResponseTime())
+//	})
+package mqsched
+
+import (
+	"fmt"
+	"sync"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/datastore"
+	"mqsched/internal/disk"
+	"mqsched/internal/geom"
+	"mqsched/internal/pagespace"
+	"mqsched/internal/query"
+	"mqsched/internal/rt"
+	"mqsched/internal/sched"
+	"mqsched/internal/server"
+	"mqsched/internal/sim"
+	"mqsched/internal/trace"
+	"mqsched/internal/vm"
+)
+
+// Re-exported core types. The full lower-level APIs live in the internal
+// packages; this facade covers the common embedding path.
+type (
+	// Ctx is the execution context passed to client processes.
+	Ctx = rt.Ctx
+	// Meta is a query predicate.
+	Meta = query.Meta
+	// Result is a completed query's result and timings.
+	Result = query.Result
+	// Ticket is the handle for a submitted query.
+	Ticket = server.Ticket
+	// Rect is a half-open integer rectangle.
+	Rect = geom.Rect
+	// Op is a Virtual Microscope processing function.
+	Op = vm.Op
+	// VMQuery is a Virtual Microscope predicate.
+	VMQuery = vm.Meta
+	// App is the user-defined operator set (implement it to port a new
+	// data-analysis application onto the middleware).
+	App = query.App
+)
+
+// VM processing functions.
+const (
+	// Subsample returns every N-th pixel (I/O-intensive).
+	Subsample = vm.Subsample
+	// Average computes each output pixel as the mean of N×N inputs
+	// (CPU/I/O balanced).
+	Average = vm.Average
+)
+
+// R constructs a Rect.
+func R(x0, y0, x1, y1 int64) Rect { return geom.R(x0, y0, x1, y1) }
+
+// NewVMQuery builds a Virtual Microscope query: window (base-resolution
+// pixels, zoom-aligned — see AlignRect), magnification reduction factor
+// zoom, and processing function op.
+func NewVMQuery(slide string, window Rect, zoom int64, op Op) VMQuery {
+	return vm.NewMeta(slide, window, zoom, op)
+}
+
+// AlignRect expands r to zoom-aligned coordinates within bounds.
+func AlignRect(r Rect, zoom int64, bounds Rect) Rect { return vm.AlignRect(r, zoom, bounds) }
+
+// Slide describes one synthetic microscopy dataset.
+type Slide struct {
+	Name          string
+	Width, Height int64
+}
+
+// NewSlideTable registers slides (3-byte pixels, 64 KB pages).
+func NewSlideTable(slides ...Slide) *dataset.Table {
+	ls := make([]*dataset.Layout, len(slides))
+	for i, s := range slides {
+		ls[i] = vm.NewSlide(s.Name, s.Width, s.Height)
+	}
+	return dataset.NewTable(ls...)
+}
+
+// Mode selects the execution substrate.
+type Mode int
+
+const (
+	// Simulated runs on deterministic virtual time (experiments).
+	Simulated Mode = iota
+	// Real runs on goroutines and wall-clock time with actual pixel data.
+	Real
+)
+
+// Config configures a System.
+type Config struct {
+	// Mode selects the substrate (default Simulated).
+	Mode Mode
+	// Policy is the ranking strategy: fifo, muf, ff, cf, cnbf, sjf
+	// (default cf, the paper's α=0.2).
+	Policy string
+	// Threads is the query-thread pool size (default 4).
+	Threads int
+	// CPUs is the simulated SMP's processor count (default 24; ignored on
+	// the real runtime).
+	CPUs int
+	// Disks is the disk farm size (default 4).
+	Disks int
+	// DSBudget is the data store memory in bytes (default 64 MB; -1
+	// disables result caching).
+	DSBudget int64
+	// PSBudget is the page space memory in bytes (default 32 MB).
+	PSBudget int64
+	// TimeScale compresses modelled hardware times on the real runtime
+	// (default 0.02).
+	TimeScale float64
+	// App overrides the application (default: the Virtual Microscope).
+	App App
+	// BlockOnExecuting lets queries stall on overlapping executing queries
+	// to avoid duplicate I/O (default true).
+	DisableBlocking bool
+	// Trace records query lifecycle events, retrievable via System.Trace
+	// (Gantt renderings of the schedule).
+	Trace bool
+}
+
+// System is an assembled query server with its substrates.
+type System struct {
+	cfg    Config
+	rtm    rt.Runtime
+	eng    *sim.Engine // nil on the real runtime
+	realRT *rt.RealRuntime
+	table  *dataset.Table
+	app    query.App
+	farm   *disk.Farm
+	ps     *pagespace.Manager
+	ds     *datastore.Manager
+	graph  *sched.Graph
+	srv    *server.Server
+	tracer *trace.Recorder
+
+	cmu     sync.Mutex
+	clients []rt.Gate // one per Start'ed process; Run closes after all open
+}
+
+// New assembles a system over the given datasets. On the real runtime the
+// disk farm produces Virtual Microscope slide pages; embeddings of other
+// applications use NewWithGenerator.
+func New(cfg Config, table *dataset.Table) (*System, error) {
+	return NewWithGenerator(cfg, table, vm.GeneratePage)
+}
+
+// NewWithGenerator is New with a custom page generator for the real runtime
+// (the function producing raw chunk payloads for the configured App). The
+// generator is unused on the simulated runtime.
+func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*System, error) {
+	if cfg.Policy == "" {
+		cfg.Policy = "cf"
+	}
+	if cfg.CPUs == 0 {
+		cfg.CPUs = 24
+	}
+	if cfg.DSBudget == 0 {
+		cfg.DSBudget = 64 << 20
+	}
+	if cfg.PSBudget == 0 {
+		cfg.PSBudget = 32 << 20
+	}
+
+	s := &System{cfg: cfg, table: table}
+	switch cfg.Mode {
+	case Simulated:
+		s.eng = sim.New()
+		s.rtm = rt.NewSim(s.eng, cfg.CPUs)
+		gen = nil // payloads are elided on the synthetic runtime
+	case Real:
+		s.realRT = rt.NewReal(rt.RealOptions{TimeScale: cfg.TimeScale})
+		s.rtm = s.realRT
+	default:
+		return nil, fmt.Errorf("mqsched: unknown mode %d", cfg.Mode)
+	}
+
+	s.app = cfg.App
+	if s.app == nil {
+		s.app = vm.New(table)
+	}
+	policy, ok := sched.ByName(cfg.Policy, s.app)
+	if !ok {
+		return nil, fmt.Errorf("mqsched: unknown policy %q (want fifo, muf, ff, cf, cnbf, sjf)", cfg.Policy)
+	}
+
+	s.farm = disk.NewFarm(s.rtm, disk.Config{Disks: cfg.Disks}, gen)
+	s.ps = pagespace.New(s.rtm, table, s.farm, pagespace.Options{Budget: cfg.PSBudget})
+	if cfg.DSBudget >= 0 {
+		s.ds = datastore.New(s.app, datastore.Options{Budget: cfg.DSBudget})
+	}
+	if cfg.Trace {
+		s.tracer = trace.New()
+	}
+	s.graph = sched.New(s.rtm, s.app, policy)
+	s.srv = server.New(s.rtm, s.app, s.graph, s.ds, s.ps, server.Options{
+		Threads:          cfg.Threads,
+		BlockOnExecuting: !cfg.DisableBlocking,
+		Tracer:           s.tracer,
+	})
+	return s, nil
+}
+
+// Submit enqueues a query.
+func (s *System) Submit(m Meta) (*Ticket, error) { return s.srv.Submit(m) }
+
+// Cancel abandons a query that has not started executing; see
+// server.Server.Cancel.
+func (s *System) Cancel(t *Ticket) bool { return s.srv.Cancel(t) }
+
+// Start launches a client process. On the simulated runtime the process
+// only executes once Run drives the virtual clock.
+func (s *System) Start(name string, fn func(Ctx)) {
+	g := s.rtm.NewGate(name + " done")
+	s.cmu.Lock()
+	s.clients = append(s.clients, g)
+	s.cmu.Unlock()
+	s.rtm.Spawn(name, func(ctx Ctx) {
+		defer g.Open()
+		fn(ctx)
+	})
+}
+
+// Run drives the system to completion: every process launched with Start
+// runs; once all of them finish the server shuts down and Run returns. On
+// the simulated runtime this executes the virtual clock; on the real runtime
+// it blocks until all goroutines exit.
+func (s *System) Run() error {
+	s.cmu.Lock()
+	clients := append([]rt.Gate(nil), s.clients...)
+	s.cmu.Unlock()
+	s.rtm.Spawn("mqsched-closer", func(ctx Ctx) {
+		for _, g := range clients {
+			g.Wait(ctx)
+		}
+		s.srv.Close()
+	})
+	if s.eng != nil {
+		return s.eng.Run()
+	}
+	s.realRT.Wait()
+	return nil
+}
+
+// RunWith starts fn as the only client and runs to completion.
+func (s *System) RunWith(fn func(Ctx)) error {
+	s.Start("main", fn)
+	return s.Run()
+}
+
+// Trace returns the lifecycle recorder (nil unless Config.Trace was set).
+func (s *System) Trace() *trace.Recorder { return s.tracer }
+
+// Server exposes the underlying query server.
+func (s *System) Server() *server.Server { return s.srv }
+
+// Datasets exposes the registered dataset table.
+func (s *System) Datasets() *dataset.Table { return s.table }
+
+// Stats bundles subsystem counters.
+type Stats struct {
+	Server    server.Stats
+	Disk      disk.Stats
+	PageSpace pagespace.Stats
+	DataStore datastore.Stats
+	Graph     sched.GraphStats
+}
+
+// Stats returns a snapshot of all subsystem counters.
+func (s *System) Stats() Stats {
+	st := Stats{
+		Server:    s.srv.Stats(),
+		Disk:      s.farm.Stats(),
+		PageSpace: s.ps.Stats(),
+		Graph:     s.graph.Stats(),
+	}
+	if s.ds != nil {
+		st.DataStore = s.ds.Stats()
+	}
+	return st
+}
