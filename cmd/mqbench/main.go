@@ -21,6 +21,7 @@ import (
 
 	"mqsched/internal/driver"
 	"mqsched/internal/experiment"
+	"mqsched/internal/metrics"
 	"mqsched/internal/vm"
 )
 
@@ -188,7 +189,9 @@ func dumpWorkload(path string, base experiment.Config, op vm.Op) error {
 }
 
 // replayWorkload runs one saved workload through a single configuration and
-// prints the headline metrics.
+// prints the headline numbers followed by the structured end-of-run metrics
+// summary (every subsystem counter, gauge, and latency histogram from the
+// unified registry).
 func replayWorkload(path string, base experiment.Config, policy string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -201,11 +204,14 @@ func replayWorkload(path string, base experiment.Config, policy string) error {
 	}
 	cfg := base
 	cfg.Policy = policy
+	cfg.Metrics = metrics.NewRegistry()
 	m, err := experiment.RunWorkload(cfg, queries)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replayed %d queries under %s: trimmed response %.3fs, mean wait %.3fs, overlap %.3f, makespan %.1fs\n",
 		m.Queries, m.Policy, m.TrimmedResponse, m.MeanWait, m.AvgOverlap, m.Makespan)
+	fmt.Println("\nend-of-run metrics:")
+	fmt.Print(m.Registry.Summary())
 	return nil
 }

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	mqserver -addr :9123 -slides slide1:16384x16384,slide2:8192x8192 -policy cnbf -threads 4
+//
+// Observability: every subsystem's counters, gauges, and per-strategy latency
+// histograms are served in the Prometheus text format on -metrics
+// (default :9124, path /metrics), and over the query connection via the
+// METRICS verb.
 package main
 
 import (
@@ -14,10 +19,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 
 	"mqsched"
+	"mqsched/internal/metrics"
 	"mqsched/internal/netproto"
 )
 
@@ -30,6 +37,7 @@ func main() {
 		dsMB      = flag.Int64("ds", 64, "data store MB (-1 disables caching)")
 		psMB      = flag.Int64("ps", 32, "page space MB")
 		timeScale = flag.Float64("timescale", 0.002, "compression of modelled disk time")
+		metricsAt = flag.String("metrics", ":9124", "HTTP listen address for the Prometheus /metrics endpoint (empty disables)")
 	)
 	flag.Parse()
 
@@ -42,15 +50,27 @@ func main() {
 		dsBudget = -1
 	}
 	sys, err := mqsched.New(mqsched.Config{
-		Mode:      mqsched.Real,
-		Policy:    *policy,
-		Threads:   *threads,
-		DSBudget:  dsBudget,
-		PSBudget:  *psMB * (1 << 20),
-		TimeScale: *timeScale,
+		Mode:          mqsched.Real,
+		Policy:        *policy,
+		Threads:       *threads,
+		DSBudget:      dsBudget,
+		PSBudget:      *psMB * (1 << 20),
+		TimeScale:     *timeScale,
+		EnableMetrics: true,
 	}, mqsched.NewSlideTable(specs...))
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *metricsAt != "" {
+		ml, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("mqserver: metrics on http://%s/metrics", ml.Addr())
+		go func() {
+			log.Fatal(http.Serve(ml, metricsMux(sys.Metrics())))
+		}()
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -64,6 +84,18 @@ func main() {
 	if err := netproto.Serve(l, sys, log.Printf); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// metricsMux serves the registry in the Prometheus text exposition format.
+func metricsMux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("mqserver: /metrics write: %v", err)
+		}
+	})
+	return mux
 }
 
 func parseSlides(s string) ([]mqsched.Slide, error) {

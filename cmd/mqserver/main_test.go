@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mqsched/internal/metrics"
+)
 
 func TestParseSlides(t *testing.T) {
 	got, err := parseSlides("a:100x200, b:300x400")
@@ -14,6 +22,39 @@ func TestParseSlides(t *testing.T) {
 	for _, bad := range []string{"a", "a:100", "a:xx200", "a:100xzz", "a:100x200,b"} {
 		if _, err := parseSlides(bad); err == nil {
 			t.Errorf("parseSlides(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMetricsMux(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("mqsched_test_total", "a counter").Add(3)
+
+	srv := httptest.NewServer(metricsMux(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# HELP mqsched_test_total a counter",
+		"# TYPE mqsched_test_total counter",
+		"mqsched_test_total 3",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics body missing %q; got:\n%s", want, body)
 		}
 	}
 }

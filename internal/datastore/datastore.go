@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"mqsched/internal/metrics"
 	"mqsched/internal/query"
 	"mqsched/internal/spatial"
 )
@@ -72,6 +73,49 @@ type Options struct {
 	// Budget is the DS memory in bytes (the paper varies 32-128 MB).
 	// Default 64 MB.
 	Budget int64
+	// Metrics, when non-nil, receives the manager's counters and gauges
+	// (mqsched_datastore_*). A nil registry costs one nil check per event.
+	Metrics *metrics.Registry
+}
+
+// dsMetrics are the registry handles; the zero value (all nil) disables
+// instrumentation.
+type dsMetrics struct {
+	lookupFull, lookupPartial, lookupMiss *metrics.Counter
+	reusedBytes                           *metrics.Counter
+	inserts, rejected, evictions          *metrics.Counter
+	swappedOutBytes                       *metrics.Counter
+	residentBytes, entries                *metrics.Gauge
+}
+
+func newDSMetrics(reg *metrics.Registry) dsMetrics {
+	if reg == nil {
+		return dsMetrics{}
+	}
+	lookups := func(result string) *metrics.Counter {
+		return reg.Counter("mqsched_datastore_lookups_total",
+			"Data store lookups by outcome: full (an exact or fully covering result), partial, or miss.",
+			metrics.L("result", result))
+	}
+	return dsMetrics{
+		lookupFull:    lookups("full"),
+		lookupPartial: lookups("partial"),
+		lookupMiss:    lookups("miss"),
+		reusedBytes: reg.Counter("mqsched_datastore_reused_bytes_total",
+			"Bytes of cached intermediate results handed out to queries by lookups."),
+		inserts: reg.Counter("mqsched_datastore_inserts_total",
+			"Intermediate results stored."),
+		rejected: reg.Counter("mqsched_datastore_rejected_total",
+			"Results too large (or the cache too pinned) to store."),
+		evictions: reg.Counter("mqsched_datastore_evictions_total",
+			"Entries swapped out under memory pressure or dropped explicitly."),
+		swappedOutBytes: reg.Counter("mqsched_datastore_swapped_out_bytes_total",
+			"Bytes reclaimed by evictions."),
+		residentBytes: reg.Gauge("mqsched_datastore_resident_bytes",
+			"Bytes currently stored."),
+		entries: reg.Gauge("mqsched_datastore_entries",
+			"Entries currently stored."),
+	}
 }
 
 // Manager is the data store manager.
@@ -83,6 +127,8 @@ type Manager struct {
 	// entry is swapped out. The callback must not call back into the
 	// manager.
 	OnEvict func(*Entry)
+
+	mx dsMetrics
 
 	mu      sync.Mutex
 	nextID  int64
@@ -101,6 +147,7 @@ func New(app query.App, opts Options) *Manager {
 	return &Manager{
 		app:     app,
 		opts:    opts,
+		mx:      newDSMetrics(opts.Metrics),
 		entries: map[int64]*Entry{},
 		trees:   map[string]*spatial.Tree[*Entry]{},
 	}
@@ -141,10 +188,12 @@ func (m *Manager) Insert(blob *query.Blob) *Entry {
 	defer m.mu.Unlock()
 	if blob.Size > m.opts.Budget {
 		m.st.Rejected++
+		m.mx.rejected.Inc()
 		return nil
 	}
 	if !m.makeRoomLocked(blob.Size) {
 		m.st.Rejected++
+		m.mx.rejected.Inc()
 		return nil
 	}
 	m.nextID++
@@ -154,6 +203,9 @@ func (m *Manager) Insert(blob *query.Blob) *Entry {
 	m.treeFor(blob.Meta.Dataset()).Insert(blob.Meta.Region(), e)
 	m.used += blob.Size
 	m.st.Inserts++
+	m.mx.inserts.Inc()
+	m.mx.residentBytes.Set(m.used)
+	m.mx.entries.Set(int64(len(m.entries)))
 	return e
 }
 
@@ -191,6 +243,10 @@ func (m *Manager) evictLocked(e *Entry) {
 	m.used -= e.Blob.Size
 	e.evicted = true
 	m.st.Evictions++
+	m.mx.evictions.Inc()
+	m.mx.swappedOutBytes.Add(e.Blob.Size)
+	m.mx.residentBytes.Set(m.used)
+	m.mx.entries.Set(int64(len(m.entries)))
 	if m.OnEvict != nil {
 		m.OnEvict(e)
 	}
@@ -216,6 +272,7 @@ func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
 	m.st.Lookups++
 	tree, ok := m.trees[dst.Dataset()]
 	if !ok {
+		m.mx.lookupMiss.Inc()
 		return nil
 	}
 	var out []Candidate
@@ -227,6 +284,7 @@ func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
 		out = append(out, Candidate{Entry: e, Overlap: ov})
 	}
 	if len(out) == 0 {
+		m.mx.lookupMiss.Inc()
 		return nil
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -242,11 +300,19 @@ func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
 		return ci.Entry.ID < cj.Entry.ID
 	})
 	m.useTick++
+	var handedOut int64
 	for _, c := range out {
 		c.Entry.pins++
 		c.Entry.lastUse = m.useTick
+		handedOut += c.Entry.Blob.Size
 	}
 	m.st.LookupHits++
+	if m.app.Cmp(out[0].Entry.Blob.Meta, dst) || out[0].Overlap >= 1 {
+		m.mx.lookupFull.Inc()
+	} else {
+		m.mx.lookupPartial.Inc()
+	}
+	m.mx.reusedBytes.Add(handedOut)
 	return out
 }
 

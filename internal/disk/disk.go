@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mqsched/internal/dataset"
+	"mqsched/internal/metrics"
 	"mqsched/internal/rt"
 )
 
@@ -96,12 +97,47 @@ type Farm struct {
 	cfg      Config
 	stations []rt.Station
 	gen      Generator
+	mx       farmMetrics
 
 	mu     sync.Mutex
 	last   []map[string]int // per disk: dataset -> last enqueued page index
 	recent [][]string       // per disk: ring of recent requester names
 	rpos   []int
 	st     Stats
+}
+
+// farmMetrics are per-disk registry handles, indexed by spindle. The slices
+// are always sized to the farm; nil elements (no registry) no-op.
+type farmMetrics struct {
+	busySeconds []*metrics.FloatCounter
+	queueLength []*metrics.Gauge
+	reads       []*metrics.Counter
+	seqReads    *metrics.Counter
+	readBytes   *metrics.Counter
+}
+
+// UseMetrics registers the farm's per-disk counters and gauges
+// (mqsched_disk_*, labelled disk="0".."N-1") on reg. Call it once, before
+// the farm serves requests; a nil registry leaves instrumentation disabled.
+func (f *Farm) UseMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for d := 0; d < f.cfg.Disks; d++ {
+		label := metrics.L("disk", fmt.Sprint(d))
+		f.mx.busySeconds[d] = reg.FloatCounter("mqsched_disk_busy_seconds_total",
+			"Accumulated service time per spindle (positioning plus transfer).", label)
+		f.mx.queueLength[d] = reg.Gauge("mqsched_disk_queue_length",
+			"Requests queued or in service per spindle.", label)
+		f.mx.reads[d] = reg.Counter("mqsched_disk_reads_total",
+			"Page reads served per spindle.", label)
+	}
+	f.mx.seqReads = reg.Counter("mqsched_disk_seq_reads_total",
+		"Reads that paid the near-sequential positioning cost.")
+	f.mx.readBytes = reg.Counter("mqsched_disk_read_bytes_total",
+		"Bytes transferred from the farm.")
 }
 
 // NewFarm builds a farm on the given runtime. gen may be nil on the
@@ -113,6 +149,9 @@ func NewFarm(r rt.Runtime, cfg Config, gen Generator) *Farm {
 	f.last = make([]map[string]int, cfg.Disks)
 	f.recent = make([][]string, cfg.Disks)
 	f.rpos = make([]int, cfg.Disks)
+	f.mx.busySeconds = make([]*metrics.FloatCounter, cfg.Disks)
+	f.mx.queueLength = make([]*metrics.Gauge, cfg.Disks)
+	f.mx.reads = make([]*metrics.Counter, cfg.Disks)
 	for i := range f.stations {
 		f.stations[i] = r.NewStation(fmt.Sprintf("disk%d", i), 1)
 		f.last[i] = map[string]int{}
@@ -169,12 +208,18 @@ func (f *Farm) Read(ctx rt.Ctx, l *dataset.Layout, page int) []byte {
 	f.st.Reads++
 	if seq {
 		f.st.SeqReads++
+		f.mx.seqReads.Inc()
 	}
 	f.st.BytesRead += bytes
 	f.st.ServiceSum += service
+	f.mx.reads[d].Inc()
+	f.mx.readBytes.Add(bytes)
+	f.mx.busySeconds[d].Add(service.Seconds())
 	f.mu.Unlock()
 
+	f.mx.queueLength[d].Inc()
 	f.stations[d].Serve(ctx, service)
+	f.mx.queueLength[d].Dec()
 
 	if f.gen != nil && !ctx.Synthetic() {
 		return f.gen(l, page)

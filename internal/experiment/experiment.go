@@ -12,6 +12,7 @@ import (
 	"mqsched/internal/datastore"
 	"mqsched/internal/disk"
 	"mqsched/internal/driver"
+	"mqsched/internal/metrics"
 	"mqsched/internal/monitor"
 	"mqsched/internal/pagespace"
 	"mqsched/internal/rt"
@@ -75,6 +76,11 @@ type Config struct {
 	// Mode selects the client browsing pattern (experiment X2; default the
 	// paper's hotspot browse).
 	Mode driver.Mode
+	// Metrics, when non-nil, receives every subsystem's counters, gauges,
+	// and histograms for the run; a snapshot lands in Metrics.Registry.
+	// The monitor's queue-length probe then reads the scheduler's
+	// queue-depth gauge instead of keeping parallel bookkeeping.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +159,10 @@ type Metrics struct {
 	// MonitorReport holds utilization sparklines when
 	// Config.MonitorInterval was set.
 	MonitorReport string
+
+	// Registry is the end-of-run snapshot of the unified metrics registry
+	// when Config.Metrics was set.
+	Registry *metrics.Snapshot
 }
 
 // Run executes one configuration to completion on the simulated runtime,
@@ -176,13 +186,15 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 	app := vm.New(table)
 	app.PrefetchDepth = cfg.PrefetchDepth
 	farm := disk.NewFarm(rtm, disk.Config{Disks: cfg.Disks}, nil)
+	farm.UseMetrics(cfg.Metrics)
 	ps := pagespace.New(rtm, table, farm, pagespace.Options{
 		Budget:       cfg.PSBudget,
 		DisableDedup: cfg.DisablePSDedup,
+		Metrics:      cfg.Metrics,
 	})
 	var ds *datastore.Manager
 	if cfg.DSBudget >= 0 {
-		ds = datastore.New(app, datastore.Options{Budget: cfg.DSBudget})
+		ds = datastore.New(app, datastore.Options{Budget: cfg.DSBudget, Metrics: cfg.Metrics})
 	}
 	policy, ok := sched.ByName(cfg.Policy, app)
 	switch {
@@ -204,15 +216,23 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 		return Metrics{}, fmt.Errorf("experiment: unknown policy %q", cfg.Policy)
 	}
 	graph := sched.New(rtm, app, policy)
+	graph.UseMetrics(cfg.Metrics)
 	srv := server.New(rtm, app, graph, ds, ps, server.Options{
 		Threads:          cfg.Threads,
 		BlockOnExecuting: cfg.BlockOnExecuting,
+		Metrics:          cfg.Metrics,
 	})
 
 	var mon *monitor.Monitor
 	launchOpts := driver.LaunchOpts{Batch: cfg.Batch}
 	if cfg.MonitorInterval > 0 {
 		iv := cfg.MonitorInterval
+		waiting := monitor.Probe{Name: "waiting", F: func() float64 { return float64(graph.WaitingCount()) }}
+		if cfg.Metrics != nil {
+			// The metrics layer already tracks queue depth; read its gauge
+			// instead of duplicating the counter.
+			waiting = monitor.FromGauge("waiting", cfg.Metrics.Gauge("mqsched_sched_queue_depth", ""))
+		}
 		mon = monitor.Start(rtm, iv, []monitor.Probe{
 			monitor.Windowed("disk util", func() float64 {
 				return farm.Utilization() * eng.Now().Seconds()
@@ -220,7 +240,7 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 			monitor.Windowed("cpu util", func() float64 {
 				return rtm.CPUUtilization() * eng.Now().Seconds()
 			}, iv),
-			{Name: "waiting", F: func() float64 { return float64(graph.WaitingCount()) }},
+			waiting,
 		})
 		launchOpts.OnAllDone = mon.Stop
 	}
@@ -287,6 +307,10 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 	}
 	if mon != nil {
 		m.MonitorReport = mon.Report(72)
+	}
+	if cfg.Metrics != nil {
+		snap := cfg.Metrics.Snapshot()
+		m.Registry = &snap
 	}
 	return m, nil
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"mqsched/internal/metrics"
 	"mqsched/internal/rt"
 )
 
@@ -33,8 +34,13 @@ type Monitor struct {
 }
 
 // Start spawns the sampling process on rtm, sampling every interval.
-// Call Stop when the observed workload completes — on the simulated runtime
-// a running monitor keeps virtual time advancing forever otherwise.
+//
+// Contract: an interval <= 0 is silently clamped to 250ms, the default
+// sampling period, so a zero-valued configuration still produces a usable
+// series. Call Stop when the observed workload completes — on the simulated
+// runtime a running monitor keeps virtual time advancing forever otherwise.
+// Stop is idempotent: calling it more than once (including concurrently) is
+// safe and the sampling process still exits exactly once.
 func Start(rtm rt.Runtime, interval time.Duration, probes []Probe) *Monitor {
 	if interval <= 0 {
 		interval = 250 * time.Millisecond
@@ -98,6 +104,25 @@ func Windowed(name string, cumulative func() float64, interval time.Duration) Pr
 		last = cur
 		return rate
 	}}
+}
+
+// FromGauge returns a probe reading a metrics gauge — the bridge that lets
+// monitor sparklines and the metrics registry share one counter instead of
+// maintaining parallel bookkeeping. A nil gauge reads as 0.
+func FromGauge(name string, g *metrics.Gauge) Probe {
+	return Probe{Name: name, F: func() float64 { return float64(g.Value()) }}
+}
+
+// RateOf converts a metrics counter into a per-second rate probe over the
+// sampling interval (see Windowed). A nil counter reads as 0.
+func RateOf(name string, c *metrics.Counter, interval time.Duration) Probe {
+	return Windowed(name, func() float64 { return float64(c.Value()) }, interval)
+}
+
+// RateOfFloat is RateOf for float counters (e.g. accumulated busy seconds,
+// which this turns into instantaneous utilization).
+func RateOfFloat(name string, c *metrics.FloatCounter, interval time.Duration) Probe {
+	return Windowed(name, c.Value, interval)
 }
 
 var sparkRunes = []rune("▁▂▃▄▅▆▇█")

@@ -2,9 +2,11 @@ package monitor
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"mqsched/internal/metrics"
 	"mqsched/internal/rt"
 	"mqsched/internal/sim"
 )
@@ -38,6 +40,99 @@ func TestSamplingOnVirtualClock(t *testing.T) {
 		if ts[i]-ts[i-1] != time.Second {
 			t.Fatalf("irregular sampling: %v", ts)
 		}
+	}
+}
+
+// TestStartClampsInterval pins the documented contract: interval <= 0 is
+// clamped to the 250ms default, so samples land every 250ms of virtual time.
+func TestStartClampsInterval(t *testing.T) {
+	for _, iv := range []time.Duration{0, -time.Second} {
+		eng := sim.New()
+		rtm := rt.NewSim(eng, 1)
+		m := Start(rtm, iv, []Probe{{Name: "x", F: func() float64 { return 1 }}})
+		rtm.Spawn("w", func(ctx rt.Ctx) {
+			ctx.Sleep(time.Second)
+			m.Stop()
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		ts := m.Times()
+		if len(ts) < 4 {
+			t.Fatalf("interval %v: only %d samples in 1s", iv, len(ts))
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i]-ts[i-1] != 250*time.Millisecond {
+				t.Fatalf("interval %v: sampling cadence %v, want 250ms", iv, ts[i]-ts[i-1])
+			}
+		}
+	}
+}
+
+// TestStopIdempotent pins the other documented contract: Stop may be called
+// any number of times, from any number of goroutines.
+func TestStopIdempotent(t *testing.T) {
+	eng := sim.New()
+	rtm := rt.NewSim(eng, 1)
+	m := Start(rtm, time.Second, []Probe{{Name: "x", F: func() float64 { return 1 }}})
+	rtm.Spawn("w", func(ctx rt.Ctx) {
+		ctx.Sleep(2 * time.Second)
+		m.Stop()
+		m.Stop() // double Stop inside the run
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := m.Len()
+	// Concurrent Stops after the run are equally safe.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Stop()
+		}()
+	}
+	wg.Wait()
+	if m.Len() != n {
+		t.Fatalf("samples changed after Stop: %d -> %d", n, m.Len())
+	}
+}
+
+// TestMetricsBridgeProbes covers the probes that read the metrics registry
+// instead of keeping parallel bookkeeping.
+func TestMetricsBridgeProbes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := reg.Gauge("g", "")
+	g.Set(7)
+	if got := FromGauge("depth", g).F(); got != 7 {
+		t.Fatalf("FromGauge = %v", got)
+	}
+	if got := FromGauge("depth", nil).F(); got != 0 {
+		t.Fatalf("nil FromGauge = %v", got)
+	}
+
+	c := reg.Counter("c", "")
+	p := RateOf("rate", c, 2*time.Second)
+	c.Add(4)
+	if got := p.F(); got != 2 { // 4 events over a 2s window
+		t.Fatalf("RateOf = %v", got)
+	}
+	if got := p.F(); got != 0 { // no growth in the second window
+		t.Fatalf("RateOf = %v", got)
+	}
+	if got := RateOf("rate", nil, time.Second).F(); got != 0 {
+		t.Fatalf("nil RateOf = %v", got)
+	}
+
+	fc := reg.FloatCounter("busy", "")
+	fp := RateOfFloat("util", fc, 4*time.Second)
+	fc.Add(2) // 2 busy-seconds over a 4s window = 50% utilization
+	if got := fp.F(); got != 0.5 {
+		t.Fatalf("RateOfFloat = %v", got)
+	}
+	if got := RateOfFloat("util", nil, time.Second).F(); got != 0 {
+		t.Fatalf("nil RateOfFloat = %v", got)
 	}
 }
 

@@ -14,8 +14,23 @@ import (
 	"mqsched/internal/vm"
 )
 
-// Request is one Virtual Microscope query.
+// Verbs a request can carry. The zero value is a query, so pre-verb clients
+// remain wire-compatible.
+const (
+	// VerbQuery (or an empty Verb) runs a Virtual Microscope query.
+	VerbQuery = "QUERY"
+	// VerbMetrics returns the server's metrics registry rendered in the
+	// Prometheus text format (Response.Metrics); the query fields are
+	// ignored.
+	VerbMetrics = "METRICS"
+)
+
+// Request is one client request: a Virtual Microscope query (the default) or
+// an administrative verb. A request with an unknown verb is answered with an
+// error response; the connection stays usable.
 type Request struct {
+	// Verb selects the operation; empty means VerbQuery.
+	Verb           string
 	Slide          string
 	X0, Y0, X1, Y1 int64 // window at base resolution
 	Zoom           int64
@@ -54,6 +69,9 @@ type Response struct {
 	WaitMS     float64
 	ExecMS     float64
 	ReusedFrac float64
+	// Metrics is the Prometheus-text-format registry dump answering a
+	// VerbMetrics request.
+	Metrics string
 }
 
 // Conn wraps a stream with gob encoding in both directions.

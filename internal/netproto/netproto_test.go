@@ -2,6 +2,7 @@ package netproto
 
 import (
 	"net"
+	"strings"
 	"testing"
 
 	"mqsched"
@@ -126,5 +127,109 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if resp.Err == "" {
 		t.Fatal("expected error response for unknown slide")
+	}
+}
+
+// startServer spins up a Real-mode system behind a TCP listener and returns a
+// client connection to it.
+func startServer(t *testing.T, enableMetrics bool) *Conn {
+	t.Helper()
+	table := mqsched.NewSlideTable(mqsched.Slide{Name: "s1", Width: 2048, Height: 2048})
+	sys, err := mqsched.New(mqsched.Config{
+		Mode: mqsched.Real, Policy: "fifo", Threads: 2, TimeScale: 0.0001,
+		EnableMetrics: enableMetrics,
+	}, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, sys, t.Logf)
+	t.Cleanup(func() { l.Close() })
+
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return NewConn(nc)
+}
+
+func roundTrip(t *testing.T, c *Conn, req *Request) *Response {
+	t.Helper()
+	if err := c.WriteRequest(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestServeBadRequests checks that unknown verbs and malformed queries get an
+// error response while the connection stays usable for the next request.
+func TestServeBadRequests(t *testing.T) {
+	c := startServer(t, false)
+
+	// Unknown verb: error response, not a dropped connection.
+	resp := roundTrip(t, c, &Request{Verb: "BOGUS"})
+	if !strings.Contains(resp.Err, "unknown verb") {
+		t.Fatalf("unknown verb: err = %q", resp.Err)
+	}
+
+	// Malformed queries: zoom 0, bad op, out-of-bounds window.
+	for _, bad := range []*Request{
+		{Slide: "s1", X1: 8, Y1: 8, Zoom: 0, Op: "subsample"},
+		{Slide: "s1", X1: 8, Y1: 8, Zoom: 1, Op: "sharpen"},
+		{Slide: "s1", X0: 9000, Y0: 9000, X1: 9100, Y1: 9100, Zoom: 1, Op: "subsample"},
+	} {
+		if resp := roundTrip(t, c, bad); resp.Err == "" {
+			t.Fatalf("malformed request %+v accepted", bad)
+		}
+	}
+
+	// METRICS on a server without metrics enabled: error, connection lives.
+	if resp := roundTrip(t, c, &Request{Verb: VerbMetrics}); !strings.Contains(resp.Err, "metrics not enabled") {
+		t.Fatalf("metrics verb without registry: err = %q", resp.Err)
+	}
+
+	// The same connection still answers a valid query after every failure.
+	resp = roundTrip(t, c, &Request{Slide: "s1", X0: 0, Y0: 0, X1: 512, Y1: 512, Zoom: 2, Op: "subsample"})
+	if resp.Err != "" {
+		t.Fatalf("valid query after errors: %v", resp.Err)
+	}
+	if resp.Width != 256 || resp.Height != 256 {
+		t.Fatalf("dims %dx%d", resp.Width, resp.Height)
+	}
+}
+
+// TestServeMetricsVerb checks the METRICS verb returns a Prometheus text
+// snapshot reflecting work done over the same connection.
+func TestServeMetricsVerb(t *testing.T) {
+	c := startServer(t, true)
+
+	resp := roundTrip(t, c, &Request{Slide: "s1", X0: 0, Y0: 0, X1: 512, Y1: 512, Zoom: 2, Op: "subsample", OmitPixels: true})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+
+	mr := roundTrip(t, c, &Request{Verb: VerbMetrics})
+	if mr.Err != "" {
+		t.Fatal(mr.Err)
+	}
+	for _, want := range []string{
+		"# TYPE mqsched_server_submitted_total counter",
+		"mqsched_server_submitted_total{strategy=\"FIFO\"} 1",
+		"mqsched_datastore_lookups_total",
+		"mqsched_pagespace_misses_total",
+		"mqsched_sched_queue_depth",
+		"mqsched_server_response_seconds_bucket",
+	} {
+		if !strings.Contains(mr.Metrics, want) {
+			t.Errorf("METRICS payload missing %q", want)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"strings"
 	"sync/atomic"
 
 	"mqsched"
@@ -52,8 +53,29 @@ func serveConn(nc net.Conn, sys *mqsched.System, id int64, logf func(string, ...
 	}
 }
 
-// answer runs one request through the query server synchronously.
+// answer dispatches one request by verb. Bad requests — unknown verbs
+// included — yield an error response, never a dropped connection.
 func answer(sys *mqsched.System, req *Request, connID int64, reqNo int) *Response {
+	switch req.Verb {
+	case "", VerbQuery:
+		return answerQuery(sys, req, connID, reqNo)
+	case VerbMetrics:
+		reg := sys.Metrics()
+		if reg == nil {
+			return &Response{Err: "netproto: metrics not enabled on this server"}
+		}
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Metrics: sb.String()}
+	default:
+		return &Response{Err: fmt.Sprintf("netproto: unknown verb %q", req.Verb)}
+	}
+}
+
+// answerQuery runs one query through the query server synchronously.
+func answerQuery(sys *mqsched.System, req *Request, connID int64, reqNo int) *Response {
 	layout, ok := sys.Datasets().Lookup(req.Slide)
 	if !ok {
 		return &Response{Err: fmt.Sprintf("unknown slide %q", req.Slide)}

@@ -22,6 +22,7 @@ import (
 
 	"mqsched/internal/dataset"
 	"mqsched/internal/disk"
+	"mqsched/internal/metrics"
 	"mqsched/internal/rt"
 )
 
@@ -43,6 +44,43 @@ type Options struct {
 	// DisableDedup turns off in-flight duplicate elimination (ablation A2):
 	// concurrent requests for the same absent page each go to disk.
 	DisableDedup bool
+	// Metrics, when non-nil, receives the manager's counters and gauges
+	// (mqsched_pagespace_*). A nil registry costs one nil check per event.
+	Metrics *metrics.Registry
+}
+
+// psMetrics are the registry handles; the zero value disables
+// instrumentation.
+type psMetrics struct {
+	hits, misses            *metrics.Counter
+	dedupCoalesced          *metrics.Counter
+	evictions, prefetches   *metrics.Counter
+	readBytes               *metrics.Counter
+	residentBytes, resident *metrics.Gauge
+}
+
+func newPSMetrics(reg *metrics.Registry) psMetrics {
+	if reg == nil {
+		return psMetrics{}
+	}
+	return psMetrics{
+		hits: reg.Counter("mqsched_pagespace_hits_total",
+			"Page requests served from a resident page."),
+		misses: reg.Counter("mqsched_pagespace_misses_total",
+			"Page requests that issued a disk read."),
+		dedupCoalesced: reg.Counter("mqsched_pagespace_dedup_coalesced_total",
+			"Duplicate in-flight page requests eliminated by coalescing onto an existing read."),
+		evictions: reg.Counter("mqsched_pagespace_evictions_total",
+			"Resident pages dropped under the byte budget."),
+		prefetches: reg.Counter("mqsched_pagespace_prefetches_total",
+			"Background fetches started by StartFetch."),
+		readBytes: reg.Counter("mqsched_pagespace_read_bytes_total",
+			"Bytes fetched from the disk farm."),
+		residentBytes: reg.Gauge("mqsched_pagespace_resident_bytes",
+			"Bytes currently resident."),
+		resident: reg.Gauge("mqsched_pagespace_resident_pages",
+			"Pages currently resident."),
+	}
 }
 
 // Manager is the page space manager.
@@ -51,6 +89,8 @@ type Manager struct {
 	table *dataset.Table
 	farm  *disk.Farm
 	opts  Options
+
+	mx psMetrics
 
 	mu      sync.Mutex
 	pages   map[pageKey]*pageEntry
@@ -84,6 +124,7 @@ func New(r rt.Runtime, table *dataset.Table, farm *disk.Farm, opts Options) *Man
 		table:   table,
 		farm:    farm,
 		opts:    opts,
+		mx:      newPSMetrics(opts.Metrics),
 		pages:   map[pageKey]*pageEntry{},
 		lru:     list.New(),
 		newGate: func(reason string) rt.Gate { return r.NewGate(reason) },
@@ -119,6 +160,7 @@ func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 		switch {
 		case e != nil && e.resident:
 			m.st.Hits++
+			m.mx.hits.Inc()
 			m.lru.MoveToFront(e.elem)
 			data := e.data
 			m.mu.Unlock()
@@ -127,6 +169,7 @@ func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 		case e != nil && !m.opts.DisableDedup:
 			// A fetch is in flight: coalesce onto it.
 			m.st.InflightWaits++
+			m.mx.dedupCoalesced.Inc()
 			gate := e.gate
 			m.mu.Unlock()
 			gate.Wait(ctx)
@@ -137,6 +180,7 @@ func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 		case e != nil:
 			// Dedup disabled: issue a duplicate read without registering it.
 			m.st.Misses++
+			m.mx.misses.Inc()
 			m.mu.Unlock()
 			return m.fetchUntracked(ctx, l, page)
 
@@ -144,6 +188,7 @@ func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 			e = &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("page %s/%d", ds, page))}
 			m.pages[k] = e
 			m.st.Misses++
+			m.mx.misses.Inc()
 			m.mu.Unlock()
 			return m.fetchAndPublish(ctx, l, e)
 		}
@@ -162,7 +207,10 @@ func (m *Manager) fetchAndPublish(ctx rt.Ctx, l *dataset.Layout, e *pageEntry) [
 	e.elem = m.lru.PushFront(e)
 	m.used += size
 	m.st.BytesRead += size
+	m.mx.readBytes.Add(size)
 	m.evictOverBudgetLocked(e)
+	m.mx.residentBytes.Set(m.used)
+	m.mx.resident.Set(int64(m.lru.Len()))
 	e.gate.Open() // wake coalesced waiters (no park: open is non-blocking)
 	m.mu.Unlock()
 	return data
@@ -174,6 +222,7 @@ func (m *Manager) fetchUntracked(ctx rt.Ctx, l *dataset.Layout, page int) []byte
 	data := m.farm.Read(ctx, l, page)
 	m.mu.Lock()
 	m.st.BytesRead += l.PageBytes(page)
+	m.mx.readBytes.Add(l.PageBytes(page))
 	m.mu.Unlock()
 	return data
 }
@@ -196,6 +245,7 @@ func (m *Manager) evictOverBudgetLocked(keep *pageEntry) {
 		delete(m.pages, e.key)
 		m.used -= e.size
 		m.st.Evictions++
+		m.mx.evictions.Inc()
 	}
 }
 
@@ -218,6 +268,7 @@ func (m *Manager) StartFetch(ds string, page int) {
 	e := &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("prefetch %s/%d", ds, page))}
 	m.pages[k] = e
 	m.st.Prefetches++
+	m.mx.prefetches.Inc()
 	m.mu.Unlock()
 	m.rtm.Spawn(fmt.Sprintf("prefetch-%s-%d", ds, page), func(ctx rt.Ctx) {
 		m.fetchAndPublish(ctx, l, e)

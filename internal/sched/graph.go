@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"mqsched/internal/metrics"
 	"mqsched/internal/query"
 	"mqsched/internal/rt"
 	"mqsched/internal/spatial"
@@ -108,6 +109,45 @@ type Graph struct {
 	nextExc int64
 
 	st GraphStats
+	mx graphMetrics
+}
+
+// graphMetrics are the registry handles; the zero value disables
+// instrumentation.
+type graphMetrics struct {
+	queueDepth, nodes                              *metrics.Gauge
+	reRanks, edgePairs                             *metrics.Counter
+	toWaiting, toExecuting, toCached, toSwappedOut *metrics.Counter
+}
+
+// UseMetrics registers the graph's gauges and counters (mqsched_sched_*) on
+// reg. Call it once, before the graph is shared with query threads; a nil
+// registry leaves instrumentation disabled at the cost of a nil check.
+func (g *Graph) UseMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	transitions := func(state string) *metrics.Counter {
+		return reg.Counter("mqsched_sched_transitions_total",
+			"Query node state transitions by destination state.",
+			metrics.L("state", state))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mx = graphMetrics{
+		queueDepth: reg.Gauge("mqsched_sched_queue_depth",
+			"WAITING queries in the scheduling graph's priority queue."),
+		nodes: reg.Gauge("mqsched_sched_nodes",
+			"Nodes in the scheduling graph (all states except SWAPPED OUT)."),
+		reRanks: reg.Counter("mqsched_sched_reranks_total",
+			"Rank recomputations (the cost of incremental rank maintenance)."),
+		edgePairs: reg.Counter("mqsched_sched_edges_total",
+			"Reuse edges ever created between query nodes."),
+		toWaiting:    transitions("waiting"),
+		toExecuting:  transitions("executing"),
+		toCached:     transitions("cached"),
+		toSwappedOut: transitions("swapped_out"),
+	}
 }
 
 // GraphStats are cumulative counters.
@@ -163,16 +203,20 @@ func (g *Graph) Insert(m query.Meta) *Node {
 			c.out[n] = w
 			n.in[c] = w
 			g.st.EdgePairs++
+			g.mx.edgePairs.Inc()
 		}
 		if w := g.app.Overlap(n.Meta, c.Meta) * float64(g.app.QOutSize(n.Meta)); w > 0 {
 			n.out[c] = w
 			c.in[n] = w
 			g.st.EdgePairs++
+			g.mx.edgePairs.Inc()
 		}
 	}
 	tree.Insert(m.Region(), n)
 
 	heap.Push(&g.waiting, n)
+	g.mx.toWaiting.Inc()
+	g.updateGaugesLocked()
 	g.refreshLocked(n)
 	g.refreshNeighboursLocked(n)
 	return n
@@ -192,6 +236,8 @@ func (g *Graph) Dequeue() *Node {
 	g.nextExc++
 	n.ExecSeq = g.nextExc
 	g.st.Dequeued++
+	g.mx.toExecuting.Inc()
+	g.updateGaugesLocked()
 	g.refreshNeighboursLocked(n)
 	return n
 }
@@ -210,6 +256,7 @@ func (g *Graph) MarkCached(n *Node) {
 		panic(fmt.Sprintf("sched: MarkCached of %v node %d", n.state, n.ID))
 	}
 	n.state = Cached
+	g.mx.toCached.Inc()
 	g.refreshNeighboursLocked(n)
 }
 
@@ -241,6 +288,8 @@ func (g *Graph) Remove(n *Node) {
 	g.treeFor(n.Meta.Dataset()).Delete(n.Meta.Region(), n)
 	delete(g.nodes, n.ID)
 	g.st.Removed++
+	g.mx.toSwappedOut.Inc()
+	g.updateGaugesLocked()
 	for _, k := range former {
 		g.refreshLocked(k)
 	}
@@ -272,6 +321,8 @@ func (g *Graph) CancelWaiting(n *Node) bool {
 	g.treeFor(n.Meta.Dataset()).Delete(n.Meta.Region(), n)
 	delete(g.nodes, n.ID)
 	g.st.Removed++
+	g.mx.toSwappedOut.Inc()
+	g.updateGaugesLocked()
 	for _, k := range former {
 		g.refreshLocked(k)
 	}
@@ -327,6 +378,7 @@ func (g *Graph) Observe(response time.Duration) {
 	for _, n := range g.waiting {
 		n.rank = g.policy.Rank(n)
 		g.st.ReRanks++
+		g.mx.reRanks.Inc()
 	}
 	heap.Init(&g.waiting)
 }
@@ -362,6 +414,14 @@ func (g *Graph) refreshLocked(n *Node) {
 	n.rank = g.policy.Rank(n)
 	heap.Fix(&g.waiting, n.heapIdx)
 	g.st.ReRanks++
+	g.mx.reRanks.Inc()
+}
+
+// updateGaugesLocked refreshes the queue-depth and node-count gauges after a
+// structural change.
+func (g *Graph) updateGaugesLocked() {
+	g.mx.queueDepth.Set(int64(g.waiting.Len()))
+	g.mx.nodes.Set(int64(len(g.nodes)))
 }
 
 // refreshNeighboursLocked recomputes the ranks of every neighbour of n.

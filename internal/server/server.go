@@ -26,6 +26,7 @@ import (
 
 	"mqsched/internal/datastore"
 	"mqsched/internal/geom"
+	"mqsched/internal/metrics"
 	"mqsched/internal/pagespace"
 	"mqsched/internal/query"
 	"mqsched/internal/rt"
@@ -49,6 +50,53 @@ type Options struct {
 	MinBlockOverlap float64
 	// Tracer, when non-nil, records query lifecycle events.
 	Tracer *trace.Recorder
+	// Metrics, when non-nil, receives the server's counters and per-strategy
+	// latency histograms (mqsched_server_*, labelled with the active ranking
+	// strategy). A nil registry costs one nil check per event.
+	Metrics *metrics.Registry
+}
+
+// srvMetrics are the registry handles; the zero value disables
+// instrumentation.
+type srvMetrics struct {
+	submitted, completed, canceled *metrics.Counter
+	fullHits, projections, blocks  *metrics.Counter
+	rawBytes                       *metrics.Counter
+	reusedBytes, computedBytes     *metrics.Counter
+	response, wait                 *metrics.Histogram
+}
+
+func newSrvMetrics(reg *metrics.Registry, strategy string) srvMetrics {
+	if reg == nil {
+		return srvMetrics{}
+	}
+	l := metrics.L("strategy", strategy)
+	return srvMetrics{
+		submitted: reg.Counter("mqsched_server_submitted_total",
+			"Queries accepted into the scheduling graph.", l),
+		completed: reg.Counter("mqsched_server_completed_total",
+			"Queries completed (throughput).", l),
+		canceled: reg.Counter("mqsched_server_canceled_total",
+			"Queries abandoned while still WAITING.", l),
+		fullHits: reg.Counter("mqsched_server_full_hits_total",
+			"Queries answered entirely from the data store.", l),
+		projections: reg.Counter("mqsched_server_projections_total",
+			"Cached results projected into outputs.", l),
+		blocks: reg.Counter("mqsched_server_blocks_total",
+			"Stalls on overlapping EXECUTING producers.", l),
+		rawBytes: reg.Counter("mqsched_server_raw_bytes_total",
+			"Input bytes requested from the page space manager.", l),
+		reusedBytes: reg.Counter("mqsched_server_reused_output_bytes_total",
+			"Output bytes produced by projecting cached results.", l),
+		computedBytes: reg.Counter("mqsched_server_computed_output_bytes_total",
+			"Output bytes produced from raw data.", l),
+		response: reg.Histogram("mqsched_server_response_seconds",
+			"End-to-end query latency (waiting plus execution).",
+			metrics.DefaultLatencyBuckets, l),
+		wait: reg.Histogram("mqsched_server_wait_seconds",
+			"Time spent queued before execution began.",
+			metrics.DefaultLatencyBuckets, l),
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +142,8 @@ type Server struct {
 	ps    *pagespace.Manager
 	opts  Options
 
+	mx srvMetrics
+
 	mu     sync.Mutex
 	cond   rt.Cond
 	closed bool
@@ -138,6 +188,7 @@ func New(rtm rt.Runtime, app query.App, graph *sched.Graph, ds *datastore.Manage
 		opts:      opts.withDefaults(),
 		entryNode: map[*datastore.Entry]*sched.Node{},
 	}
+	s.mx = newSrvMetrics(s.opts.Metrics, graph.Policy().Name())
 	s.cond = rtm.NewCond(&s.mu, "server work queue")
 	if ds != nil {
 		ds.OnEvict = s.onEvict
@@ -160,6 +211,7 @@ func (s *Server) Submit(m query.Meta) (*Ticket, error) {
 		return nil, ErrClosed
 	}
 	s.st.Submitted++
+	s.mx.submitted.Inc()
 	s.mu.Unlock()
 
 	n := s.graph.Insert(m)
@@ -189,6 +241,7 @@ func (s *Server) Cancel(t *Ticket) bool {
 	s.opts.Tracer.Record(now, t.node.ID, trace.Completed, "canceled")
 	s.mu.Lock()
 	s.st.Canceled++
+	s.mx.canceled.Inc()
 	s.mu.Unlock()
 	t.node.Done.Open()
 	return true
@@ -292,6 +345,7 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, out *query.Blob, re
 					gained += newArea
 					s.mu.Lock()
 					s.st.Projections++
+					s.mx.projections.Inc()
 					s.mu.Unlock()
 				}
 			}
@@ -325,6 +379,7 @@ func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, remaining *geom.Regi
 		res.WaitedOnExecuting++
 		s.mu.Lock()
 		s.st.Blocks++
+		s.mx.blocks.Inc()
 		s.mu.Unlock()
 		s.opts.Tracer.Record(s.rtm.Now(), n.ID, trace.Blocked, fmt.Sprintf("on q%d", p.ID))
 		p.Done.Wait(ctx)
@@ -364,17 +419,24 @@ func (s *Server) finish(n *sched.Node, out *query.Blob, res *query.Result, reuse
 
 	s.mu.Lock()
 	s.st.Completed++
+	s.mx.completed.Inc()
 	if reusedArea == gridArea && res.WaitedOnExecuting == 0 && res.InputBytesRead == 0 {
 		s.st.FullHits++
+		s.mx.fullHits.Inc()
 	}
 	s.st.RawBytes += res.InputBytesRead
+	s.mx.rawBytes.Add(res.InputBytesRead)
 	perPixel := int64(1)
 	if gridArea > 0 {
 		perPixel = out.Size / gridArea
 	}
 	s.st.ReusedOutputBytes += reusedArea * perPixel
 	s.st.ComputedOutputBytes += (gridArea - reusedArea) * perPixel
+	s.mx.reusedBytes.Add(reusedArea * perPixel)
+	s.mx.computedBytes.Add((gridArea - reusedArea) * perPixel)
 	s.mu.Unlock()
+	s.mx.response.Observe(res.ResponseTime().Seconds())
+	s.mx.wait.Observe(res.WaitTime().Seconds())
 
 	n.Done.Open()
 }

@@ -40,6 +40,7 @@ import (
 	"mqsched/internal/datastore"
 	"mqsched/internal/disk"
 	"mqsched/internal/geom"
+	"mqsched/internal/metrics"
 	"mqsched/internal/pagespace"
 	"mqsched/internal/query"
 	"mqsched/internal/rt"
@@ -149,6 +150,11 @@ type Config struct {
 	// Trace records query lifecycle events, retrievable via System.Trace
 	// (Gantt renderings of the schedule).
 	Trace bool
+	// EnableMetrics registers every subsystem's counters, gauges, and latency
+	// histograms on a metrics registry, retrievable via System.Metrics and
+	// served by cmd/mqserver's /metrics endpoint (Prometheus text format).
+	// When false the instrumentation costs one nil check per event.
+	EnableMetrics bool
 }
 
 // System is an assembled query server with its substrates.
@@ -165,6 +171,7 @@ type System struct {
 	graph  *sched.Graph
 	srv    *server.Server
 	tracer *trace.Recorder
+	reg    *metrics.Registry
 
 	cmu     sync.Mutex
 	clients []rt.Gate // one per Start'ed process; Run closes after all open
@@ -216,19 +223,25 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 		return nil, fmt.Errorf("mqsched: unknown policy %q (want fifo, muf, ff, cf, cnbf, sjf)", cfg.Policy)
 	}
 
+	if cfg.EnableMetrics {
+		s.reg = metrics.NewRegistry()
+	}
 	s.farm = disk.NewFarm(s.rtm, disk.Config{Disks: cfg.Disks}, gen)
-	s.ps = pagespace.New(s.rtm, table, s.farm, pagespace.Options{Budget: cfg.PSBudget})
+	s.farm.UseMetrics(s.reg)
+	s.ps = pagespace.New(s.rtm, table, s.farm, pagespace.Options{Budget: cfg.PSBudget, Metrics: s.reg})
 	if cfg.DSBudget >= 0 {
-		s.ds = datastore.New(s.app, datastore.Options{Budget: cfg.DSBudget})
+		s.ds = datastore.New(s.app, datastore.Options{Budget: cfg.DSBudget, Metrics: s.reg})
 	}
 	if cfg.Trace {
 		s.tracer = trace.New()
 	}
 	s.graph = sched.New(s.rtm, s.app, policy)
+	s.graph.UseMetrics(s.reg)
 	s.srv = server.New(s.rtm, s.app, s.graph, s.ds, s.ps, server.Options{
 		Threads:          cfg.Threads,
 		BlockOnExecuting: !cfg.DisableBlocking,
 		Tracer:           s.tracer,
+		Metrics:          s.reg,
 	})
 	return s, nil
 }
@@ -282,6 +295,10 @@ func (s *System) RunWith(fn func(Ctx)) error {
 
 // Trace returns the lifecycle recorder (nil unless Config.Trace was set).
 func (s *System) Trace() *trace.Recorder { return s.tracer }
+
+// Metrics returns the unified metrics registry (nil unless
+// Config.EnableMetrics was set).
+func (s *System) Metrics() *metrics.Registry { return s.reg }
 
 // Server exposes the underlying query server.
 func (s *System) Server() *server.Server { return s.srv }
