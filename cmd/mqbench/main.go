@@ -22,23 +22,25 @@ import (
 	"mqsched/internal/driver"
 	"mqsched/internal/experiment"
 	"mqsched/internal/metrics"
+	"mqsched/internal/trace"
 	"mqsched/internal/vm"
 )
 
 func main() {
 	var (
-		expName = flag.String("experiment", "all", "experiment id: e1, fig4, fig5, fig6, fig7, a1, a2, a3, a4, x1, x2, x3, v1, timeline, calibration, all")
-		opName  = flag.String("op", "both", "VM implementation: subsample, average, both")
-		clients = flag.Int("clients", 16, "number of emulated clients")
-		queries = flag.Int("queries", 16, "queries per client")
-		threads = flag.Int("threads", 4, "query threads (where not swept)")
-		cpus    = flag.Int("cpus", 24, "processors of the simulated SMP")
-		disks   = flag.Int("disks", 4, "spindles in the disk farm")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		csvDir  = flag.String("csv", "", "directory to write CSV copies of each table")
-		dumpWl  = flag.String("dumpworkload", "", "write the generated workload (both ops) as JSON to this path and exit")
-		loadWl  = flag.String("workload", "", "replay a saved workload (JSON) through a single run instead of an experiment sweep")
-		policy  = flag.String("policy", "cnbf", "ranking strategy for -workload replays")
+		expName  = flag.String("experiment", "all", "experiment id: e1, fig4, fig5, fig6, fig7, a1, a2, a3, a4, x1, x2, x3, v1, timeline, calibration, all")
+		opName   = flag.String("op", "both", "VM implementation: subsample, average, both")
+		clients  = flag.Int("clients", 16, "number of emulated clients")
+		queries  = flag.Int("queries", 16, "queries per client")
+		threads  = flag.Int("threads", 4, "query threads (where not swept)")
+		cpus     = flag.Int("cpus", 24, "processors of the simulated SMP")
+		disks    = flag.Int("disks", 4, "spindles in the disk farm")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		csvDir   = flag.String("csv", "", "directory to write CSV copies of each table")
+		dumpWl   = flag.String("dumpworkload", "", "write the generated workload (both ops) as JSON to this path and exit")
+		loadWl   = flag.String("workload", "", "replay a saved workload (JSON) through a single run instead of an experiment sweep")
+		policy   = flag.String("policy", "cnbf", "ranking strategy for -workload and -trace-out single runs")
+		traceOut = flag.String("trace-out", "", "run one traced configuration and write its span trees as Chrome trace_event JSON to this path (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -63,8 +65,8 @@ func main() {
 		return
 	}
 
-	if *loadWl != "" {
-		if err := replayWorkload(*loadWl, base, *policy); err != nil {
+	if *loadWl != "" || *traceOut != "" {
+		if err := replayWorkload(*loadWl, base, *policy, ops[0], *traceOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -188,29 +190,57 @@ func dumpWorkload(path string, base experiment.Config, op vm.Op) error {
 	return driver.SaveWorkload(f, queries)
 }
 
-// replayWorkload runs one saved workload through a single configuration and
-// prints the headline numbers followed by the structured end-of-run metrics
-// summary (every subsystem counter, gauge, and latency histogram from the
-// unified registry).
-func replayWorkload(path string, base experiment.Config, policy string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	queries, err := driver.LoadWorkload(f, driver.PaperSlides())
-	if err != nil {
-		return err
+// replayWorkload runs one configuration to completion — replaying a saved
+// workload when path is non-empty, generating one from the base config
+// otherwise — and prints the headline numbers, the span-derived per-strategy
+// percentiles, and the structured end-of-run metrics summary (every
+// subsystem counter, gauge, and latency histogram from the unified
+// registry). When traceOut is non-empty the run is span-traced and the span
+// trees are written there as Chrome trace_event JSON.
+func replayWorkload(path string, base experiment.Config, policy string, op vm.Op, traceOut string) error {
+	var queries [][]vm.Meta
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		queries, err = driver.LoadWorkload(f, driver.PaperSlides())
+		if err != nil {
+			return err
+		}
 	}
 	cfg := base
 	cfg.Policy = policy
+	cfg.Op = op
 	cfg.Metrics = metrics.NewRegistry()
+	cfg.TraceCapacity = 1 << 16
 	m, err := experiment.RunWorkload(cfg, queries)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("replayed %d queries under %s: trimmed response %.3fs, mean wait %.3fs, overlap %.3f, makespan %.1fs\n",
-		m.Queries, m.Policy, m.TrimmedResponse, m.MeanWait, m.AvgOverlap, m.Makespan)
+	verb := "replayed"
+	if path == "" {
+		verb = "ran"
+	}
+	fmt.Printf("%s %d queries under %s: trimmed response %.3fs, mean wait %.3fs, overlap %.3f, makespan %.1fs\n",
+		verb, m.Queries, m.Policy, m.TrimmedResponse, m.MeanWait, m.AvgOverlap, m.Makespan)
+	fmt.Println("\nspan-derived percentiles (seconds, simulated time):")
+	fmt.Print(trace.FormatStrategyStats(m.Spans.StrategyStats()))
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := m.Spans.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d spans (%d dropped) to %s\n", m.Spans.Len(), m.Spans.Dropped(), traceOut)
+	}
 	fmt.Println("\nend-of-run metrics:")
 	fmt.Print(m.Registry.Summary())
 	return nil

@@ -1,9 +1,11 @@
 // Command mqclient sends one Virtual Microscope query to a running mqserver
-// and writes the answer image as a PNG.
+// and writes the answer image as a PNG. With -slowlog it instead streams the
+// server's slow-query span trees (TRACE verb) until interrupted.
 //
 // Usage:
 //
 //	mqclient -addr localhost:9123 -slide slide1 -window 1024,1024,5120,5120 -zoom 4 -op average -o view.png
+//	mqclient -addr localhost:9123 -slowlog
 package main
 
 import (
@@ -16,18 +18,20 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"mqsched/internal/netproto"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "localhost:9123", "server address")
-		slide  = flag.String("slide", "slide1", "slide name")
-		window = flag.String("window", "0,0,4096,4096", "query window x0,y0,x1,y1 at base resolution")
-		zoom   = flag.Int64("zoom", 4, "magnification reduction factor N")
-		op     = flag.String("op", "subsample", "processing function: subsample or average")
-		out    = flag.String("o", "view.png", "output PNG path ('' to skip)")
+		addr    = flag.String("addr", "localhost:9123", "server address")
+		slide   = flag.String("slide", "slide1", "slide name")
+		window  = flag.String("window", "0,0,4096,4096", "query window x0,y0,x1,y1 at base resolution")
+		zoom    = flag.Int64("zoom", 4, "magnification reduction factor N")
+		op      = flag.String("op", "subsample", "processing function: subsample or average")
+		out     = flag.String("o", "view.png", "output PNG path ('' to skip)")
+		slowlog = flag.Bool("slowlog", false, "stream the server's slow-query span trees instead of querying (needs mqserver -slowlog/-slowlog-pct)")
 	)
 	flag.Parse()
 
@@ -42,6 +46,13 @@ func main() {
 	}
 	defer nc.Close()
 	c := netproto.NewConn(nc)
+
+	if *slowlog {
+		if err := streamSlowLog(c); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	req := &netproto.Request{
 		Slide: *slide,
@@ -70,6 +81,29 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// streamSlowLog polls the server's slow-query log over the TRACE verb,
+// printing each new entry's span tree as it appears.
+func streamSlowLog(c *netproto.Conn) error {
+	var since int64
+	for {
+		if err := c.WriteRequest(&netproto.Request{Verb: netproto.VerbTrace, SinceSeq: since}); err != nil {
+			return err
+		}
+		resp, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return fmt.Errorf("server error: %s", resp.Err)
+		}
+		if resp.Trace != "" {
+			fmt.Print(resp.Trace)
+		}
+		since = resp.TraceSeq
+		time.Sleep(time.Second)
+	}
 }
 
 func parseWindow(s string) ([4]int64, error) {

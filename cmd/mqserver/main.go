@@ -11,7 +11,11 @@
 // Observability: every subsystem's counters, gauges, and per-strategy latency
 // histograms are served in the Prometheus text format on -metrics
 // (default :9124, path /metrics), and over the query connection via the
-// METRICS verb.
+// METRICS verb. The same listener serves per-query span trees as Chrome
+// trace_event JSON on /trace (open in chrome://tracing or Perfetto) and the
+// Go runtime profiles on /debug/pprof/. Queries slower than -slowlog (or the
+// -slowlog-pct trailing percentile) have their span trees printed to the log
+// and are retrievable over the query connection via the TRACE verb.
 package main
 
 import (
@@ -20,24 +24,30 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"mqsched"
 	"mqsched/internal/metrics"
 	"mqsched/internal/netproto"
+	"mqsched/internal/trace"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":9123", "listen address")
-		slides    = flag.String("slides", "slide1:16384x16384,slide2:16384x16384,slide3:16384x16384", "comma-separated name:WxH slide list")
-		policy    = flag.String("policy", "cf", "ranking strategy: fifo, muf, ff, cf, cnbf, sjf")
-		threads   = flag.Int("threads", 4, "query threads")
-		dsMB      = flag.Int64("ds", 64, "data store MB (-1 disables caching)")
-		psMB      = flag.Int64("ps", 32, "page space MB")
-		timeScale = flag.Float64("timescale", 0.002, "compression of modelled disk time")
-		metricsAt = flag.String("metrics", ":9124", "HTTP listen address for the Prometheus /metrics endpoint (empty disables)")
+		addr       = flag.String("addr", ":9123", "listen address")
+		slides     = flag.String("slides", "slide1:16384x16384,slide2:16384x16384,slide3:16384x16384", "comma-separated name:WxH slide list")
+		policy     = flag.String("policy", "cf", "ranking strategy: fifo, muf, ff, cf, cnbf, sjf")
+		threads    = flag.Int("threads", 4, "query threads")
+		dsMB       = flag.Int64("ds", 64, "data store MB (-1 disables caching)")
+		psMB       = flag.Int64("ps", 32, "page space MB")
+		timeScale  = flag.Float64("timescale", 0.002, "compression of modelled disk time")
+		metricsAt  = flag.String("metrics", ":9124", "HTTP listen address for the /metrics, /trace, and /debug/pprof endpoints (empty disables)")
+		traceCap   = flag.Int("trace-buffer", 16384, "span ring-buffer capacity (0 disables span tracing)")
+		slowlog    = flag.Duration("slowlog", 0, "log the span tree of queries slower than this (runtime clock; 0 disables the fixed threshold)")
+		slowlogPct = flag.Float64("slowlog-pct", 0, "log queries slower than this trailing percentile of recent responses, e.g. 99 (0 disables)")
 	)
 	flag.Parse()
 
@@ -50,13 +60,17 @@ func main() {
 		dsBudget = -1
 	}
 	sys, err := mqsched.New(mqsched.Config{
-		Mode:          mqsched.Real,
-		Policy:        *policy,
-		Threads:       *threads,
-		DSBudget:      dsBudget,
-		PSBudget:      *psMB * (1 << 20),
-		TimeScale:     *timeScale,
-		EnableMetrics: true,
+		Mode:                mqsched.Real,
+		Policy:              *policy,
+		Threads:             *threads,
+		DSBudget:            dsBudget,
+		PSBudget:            *psMB * (1 << 20),
+		TimeScale:           *timeScale,
+		EnableMetrics:       true,
+		TraceSpans:          *traceCap > 0,
+		TraceCapacity:       *traceCap,
+		SlowQueryThreshold:  *slowlog,
+		SlowQueryPercentile: *slowlogPct,
 	}, mqsched.NewSlideTable(specs...))
 	if err != nil {
 		log.Fatal(err)
@@ -67,10 +81,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("mqserver: metrics on http://%s/metrics", ml.Addr())
+		log.Printf("mqserver: metrics on http://%s/metrics, traces on /trace, profiles on /debug/pprof/", ml.Addr())
 		go func() {
-			log.Fatal(http.Serve(ml, metricsMux(sys.Metrics())))
+			log.Fatal(http.Serve(ml, metricsMux(sys.Metrics(), sys.Spans())))
 		}()
+	}
+	if sys.Spans() != nil && (*slowlog > 0 || *slowlogPct > 0) {
+		go logSlowQueries(sys.Spans())
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -86,8 +103,10 @@ func main() {
 	}
 }
 
-// metricsMux serves the registry in the Prometheus text exposition format.
-func metricsMux(reg *metrics.Registry) *http.ServeMux {
+// metricsMux serves the registry in the Prometheus text exposition format,
+// the span ring buffer as Chrome trace_event JSON, and the net/http/pprof
+// profile endpoints.
+func metricsMux(reg *metrics.Registry, spans *trace.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -95,7 +114,33 @@ func metricsMux(reg *metrics.Registry) *http.ServeMux {
 			log.Printf("mqserver: /metrics write: %v", err)
 		}
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := spans.WriteChrome(w); err != nil {
+			log.Printf("mqserver: /trace write: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// logSlowQueries polls the tracer's slow-query log and prints each new
+// entry's span tree.
+func logSlowQueries(tr *trace.Tracer) {
+	var since int64
+	for {
+		time.Sleep(time.Second)
+		for _, e := range tr.SlowEntries(since) {
+			log.Printf("mqserver: %s", e.Format())
+			if e.Seq > since {
+				since = e.Seq
+			}
+		}
+	}
 }
 
 func parseSlides(s string) ([]mqsched.Slide, error) {

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"mqsched/internal/metrics"
+	"mqsched/internal/trace"
 )
 
 func TestParseSlides(t *testing.T) {
@@ -30,7 +33,7 @@ func TestMetricsMux(t *testing.T) {
 	reg := metrics.NewRegistry()
 	reg.Counter("mqsched_test_total", "a counter").Add(3)
 
-	srv := httptest.NewServer(metricsMux(reg))
+	srv := httptest.NewServer(metricsMux(reg, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -56,5 +59,39 @@ func TestMetricsMux(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("/metrics body missing %q; got:\n%s", want, body)
 		}
+	}
+}
+
+func TestTraceAndPprofEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := trace.NewTracer(func() time.Duration { return 0 }, trace.TracerOptions{})
+	tr.StartRoot(1, "server", "query").Finish()
+
+	srv := httptest.NewServer(metricsMux(reg, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status %d", resp.StatusCode)
+	}
+	var ct trace.ChromeTrace
+	if err := json.NewDecoder(resp.Body).Decode(&ct); err != nil {
+		t.Fatalf("/trace is not valid Chrome trace JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("/trace returned no events")
+	}
+
+	presp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", presp.StatusCode)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"mqsched/internal/metrics"
 	"mqsched/internal/query"
 	"mqsched/internal/spatial"
+	"mqsched/internal/trace"
 )
 
 // Entry is a stored intermediate result with its semantic meta-data.
@@ -313,6 +314,28 @@ func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
 		m.mx.lookupPartial.Inc()
 	}
 	m.mx.reusedBytes.Add(handedOut)
+	return out
+}
+
+// LookupTraced is Lookup recorded as a span under sp (subsystem
+// "datastore", op "lookup") with the candidate count and bytes handed out.
+// With an inert context it is exactly Lookup.
+func (m *Manager) LookupTraced(sp trace.SpanContext, dst query.Meta, minOverlap float64) []Candidate {
+	if !sp.Active() {
+		return m.Lookup(dst, minOverlap)
+	}
+	span := sp.Child("datastore", "lookup")
+	out := m.Lookup(dst, minOverlap)
+	var bytes int64
+	var best float64
+	for _, c := range out {
+		bytes += c.Entry.Blob.Size
+		if c.Overlap > best {
+			best = c.Overlap
+		}
+	}
+	span.Finish(trace.I64("candidates", int64(len(out))),
+		trace.I64("candidate_bytes", bytes), trace.F64("best_overlap", best))
 	return out
 }
 

@@ -20,6 +20,7 @@ import (
 	"mqsched/internal/dataset"
 	"mqsched/internal/metrics"
 	"mqsched/internal/rt"
+	"mqsched/internal/trace"
 )
 
 // Config describes the farm.
@@ -193,11 +194,20 @@ func (f *Farm) ServiceTime(bytes int64, sequential bool, streams int) time.Durat
 // service time at the page's disk. On the real runtime it returns the page
 // payload; on the synthetic runtime it returns nil.
 func (f *Farm) Read(ctx rt.Ctx, l *dataset.Layout, page int) []byte {
+	return f.ReadSpan(ctx, trace.SpanContext{}, l, page)
+}
+
+// ReadSpan is Read recorded as a span under sp (subsystem "disk", op
+// "read") covering both queueing and service at the spindle, with the
+// spindle index, bytes, positioning class, and interleaved stream count.
+// With an inert context it is exactly Read.
+func (f *Farm) ReadSpan(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, page int) []byte {
 	if page < 0 || page >= l.NumPages() {
 		panic(fmt.Sprintf("disk: page %d out of range for %q (%d pages)", page, l.Name, l.NumPages()))
 	}
 	d := f.DiskFor(l.Name, page)
 	bytes := l.PageBytes(page)
+	span := sp.Child("disk", "read", trace.I64("spindle", int64(d)))
 
 	f.mu.Lock()
 	lastIdx, seen := f.last[d][l.Name]
@@ -220,6 +230,8 @@ func (f *Farm) Read(ctx rt.Ctx, l *dataset.Layout, page int) []byte {
 	f.mx.queueLength[d].Inc()
 	f.stations[d].Serve(ctx, service)
 	f.mx.queueLength[d].Dec()
+	span.Finish(trace.I64("bytes", bytes), trace.Bool("sequential", seq),
+		trace.I64("streams", int64(streams)))
 
 	if f.gen != nil && !ctx.Synthetic() {
 		return f.gen(l, page)

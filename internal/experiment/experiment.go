@@ -20,6 +20,7 @@ import (
 	"mqsched/internal/server"
 	"mqsched/internal/sim"
 	"mqsched/internal/stats"
+	"mqsched/internal/trace"
 	"mqsched/internal/vm"
 )
 
@@ -81,6 +82,10 @@ type Config struct {
 	// The monitor's queue-length probe then reads the scheduler's
 	// queue-depth gauge instead of keeping parallel bookkeeping.
 	Metrics *metrics.Registry
+	// TraceCapacity, when positive, records per-query span trees (server,
+	// sched, data store, page space, disk) in a ring buffer of that many
+	// spans; the tracer lands in Metrics.Spans.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +168,10 @@ type Metrics struct {
 	// Registry is the end-of-run snapshot of the unified metrics registry
 	// when Config.Metrics was set.
 	Registry *metrics.Snapshot
+
+	// Spans is the run's span tracer when Config.TraceCapacity was set
+	// (export with WriteChrome, summarize with StrategyStats).
+	Spans *trace.Tracer
 }
 
 // Run executes one configuration to completion on the simulated runtime,
@@ -215,11 +224,16 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 	case !ok:
 		return Metrics{}, fmt.Errorf("experiment: unknown policy %q", cfg.Policy)
 	}
+	var spans *trace.Tracer
+	if cfg.TraceCapacity > 0 {
+		spans = trace.NewTracer(rtm.Now, trace.TracerOptions{Capacity: cfg.TraceCapacity})
+	}
 	graph := sched.New(rtm, app, policy)
 	graph.UseMetrics(cfg.Metrics)
 	srv := server.New(rtm, app, graph, ds, ps, server.Options{
 		Threads:          cfg.Threads,
 		BlockOnExecuting: cfg.BlockOnExecuting,
+		Spans:            spans,
 		Metrics:          cfg.Metrics,
 	})
 
@@ -312,6 +326,7 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 		snap := cfg.Metrics.Snapshot()
 		m.Registry = &snap
 	}
+	m.Spans = spans
 	return m, nil
 }
 

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+
+	"mqsched/internal/trace"
+	"mqsched/internal/vm"
+)
+
+// TestRunWorkloadSpanCoverage runs a small traced configuration end to end
+// and checks that every subsystem contributes spans to the same query's
+// tree — the wiring from server through sched, datastore, pagespace, and
+// disk.
+func TestRunWorkloadSpanCoverage(t *testing.T) {
+	m, err := Run(Config{
+		Policy:           "cf",
+		Op:               vm.Subsample,
+		Clients:          2,
+		QueriesPerClient: 2,
+		Seed:             1,
+		TraceCapacity:    1 << 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spans == nil {
+		t.Fatal("Metrics.Spans is nil with TraceCapacity set")
+	}
+	spans := m.Spans.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	subsystems := map[int64]map[string]bool{}
+	ids := map[uint64]bool{}
+	for _, s := range spans {
+		if subsystems[s.QueryID] == nil {
+			subsystems[s.QueryID] = map[string]bool{}
+		}
+		subsystems[s.QueryID][s.Subsystem] = true
+		ids[s.ID] = true
+	}
+	want := []string{"server", "sched", "datastore", "pagespace", "disk"}
+	covered := 0
+	for _, subs := range subsystems {
+		all := true
+		for _, w := range want {
+			if !subs[w] {
+				all = false
+				break
+			}
+		}
+		if all {
+			covered++
+		}
+	}
+	if covered == 0 {
+		t.Fatalf("no query has spans from all of %v; got per-query coverage %v", want, subsystems)
+	}
+
+	// Every non-root span's parent must be a retained span (nothing was
+	// dropped at this capacity), and it must belong to the same query.
+	byID := map[uint64]trace.Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %d (%s/%s) has unknown parent %d", s.ID, s.Subsystem, s.Op, s.Parent)
+		}
+		if p.QueryID != s.QueryID {
+			t.Fatalf("span %d query %d has parent %d of query %d", s.ID, s.QueryID, p.ID, p.QueryID)
+		}
+	}
+
+	ss := m.Spans.StrategyStats()
+	if len(ss) != 1 || ss[0].Queries != m.Queries {
+		t.Errorf("StrategyStats = %+v, want one strategy covering %d queries", ss, m.Queries)
+	}
+}

@@ -23,6 +23,12 @@ const (
 	// Prometheus text format (Response.Metrics); the query fields are
 	// ignored.
 	VerbMetrics = "METRICS"
+	// VerbTrace returns span data from the server's tracer in
+	// Response.Trace. With Request.QueryID set, the rendered span tree of
+	// that query; otherwise the slow-query log entries with sequence numbers
+	// above Request.SinceSeq (Response.TraceSeq reports the highest sequence
+	// returned, for resuming the poll).
+	VerbTrace = "TRACE"
 )
 
 // Request is one client request: a Virtual Microscope query (the default) or
@@ -38,6 +44,12 @@ type Request struct {
 	// OmitPixels asks the server not to ship the image back (load
 	// generation only).
 	OmitPixels bool
+	// QueryID selects the query whose span tree a VerbTrace request wants;
+	// zero asks for slow-query log entries instead.
+	QueryID int64
+	// SinceSeq filters a VerbTrace slow-log request to entries with
+	// sequence numbers strictly above it (0 returns everything retained).
+	SinceSeq int64
 }
 
 // Meta converts the request to a VM predicate, validating and zoom-aligning
@@ -72,6 +84,12 @@ type Response struct {
 	// Metrics is the Prometheus-text-format registry dump answering a
 	// VerbMetrics request.
 	Metrics string
+	// Trace is the rendered span tree or slow-query log answering a
+	// VerbTrace request.
+	Trace string
+	// TraceSeq is the highest slow-log sequence number included in Trace;
+	// pass it back as SinceSeq to poll for newer entries.
+	TraceSeq int64
 }
 
 // Conn wraps a stream with gob encoding in both directions.

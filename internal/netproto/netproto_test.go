@@ -4,6 +4,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"mqsched"
 	"mqsched/internal/geom"
@@ -231,5 +232,66 @@ func TestServeMetricsVerb(t *testing.T) {
 		if !strings.Contains(mr.Metrics, want) {
 			t.Errorf("METRICS payload missing %q", want)
 		}
+	}
+}
+
+// TestServeTraceVerb checks the TRACE verb returns a query's span tree and
+// streams slow-query log entries by sequence number.
+func TestServeTraceVerb(t *testing.T) {
+	table := mqsched.NewSlideTable(mqsched.Slide{Name: "s1", Width: 2048, Height: 2048})
+	sys, err := mqsched.New(mqsched.Config{
+		Mode: mqsched.Real, Policy: "fifo", Threads: 2, TimeScale: 0.0001,
+		TraceSpans:         true,
+		SlowQueryThreshold: time.Nanosecond, // every query is "slow"
+	}, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, sys, t.Logf)
+	t.Cleanup(func() { l.Close() })
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	c := NewConn(nc)
+
+	resp := roundTrip(t, c, &Request{Slide: "s1", X0: 0, Y0: 0, X1: 512, Y1: 512, Zoom: 2, Op: "subsample", OmitPixels: true})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+
+	// Per-query span tree (the first query has ID 1).
+	tr := roundTrip(t, c, &Request{Verb: VerbTrace, QueryID: 1})
+	if tr.Err != "" {
+		t.Fatal(tr.Err)
+	}
+	for _, want := range []string{"server/query", "sched/wait", "pagespace/read", "disk/read"} {
+		if !strings.Contains(tr.Trace, want) {
+			t.Errorf("TRACE tree missing %q:\n%s", want, tr.Trace)
+		}
+	}
+
+	// Slow-query log: the query breached the 1ns threshold.
+	sl := roundTrip(t, c, &Request{Verb: VerbTrace})
+	if sl.Err != "" {
+		t.Fatal(sl.Err)
+	}
+	if !strings.Contains(sl.Trace, "slow query q1") || sl.TraceSeq == 0 {
+		t.Fatalf("slow log = %q (seq %d)", sl.Trace, sl.TraceSeq)
+	}
+	// Polling from the returned sequence yields nothing new.
+	again := roundTrip(t, c, &Request{Verb: VerbTrace, SinceSeq: sl.TraceSeq})
+	if again.Trace != "" || again.TraceSeq != sl.TraceSeq {
+		t.Fatalf("resumed poll = %q (seq %d), want empty at seq %d", again.Trace, again.TraceSeq, sl.TraceSeq)
+	}
+
+	// Unknown query ID: error, connection lives.
+	if resp := roundTrip(t, c, &Request{Verb: VerbTrace, QueryID: 999}); resp.Err == "" {
+		t.Fatal("TRACE of unknown query should error")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"mqsched"
+	"mqsched/internal/trace"
 )
 
 // Serve accepts connections on l and answers Virtual Microscope requests
@@ -69,9 +70,36 @@ func answer(sys *mqsched.System, req *Request, connID int64, reqNo int) *Respons
 			return &Response{Err: err.Error()}
 		}
 		return &Response{Metrics: sb.String()}
+	case VerbTrace:
+		return answerTrace(sys, req)
 	default:
 		return &Response{Err: fmt.Sprintf("netproto: unknown verb %q", req.Verb)}
 	}
+}
+
+// answerTrace serves span data: one query's tree (QueryID set) or the
+// slow-query log above SinceSeq.
+func answerTrace(sys *mqsched.System, req *Request) *Response {
+	tr := sys.Spans()
+	if tr == nil {
+		return &Response{Err: "netproto: span tracing not enabled on this server"}
+	}
+	if req.QueryID != 0 {
+		spans := tr.QueryTree(req.QueryID)
+		if len(spans) == 0 {
+			return &Response{Err: fmt.Sprintf("netproto: no spans retained for query %d", req.QueryID)}
+		}
+		return &Response{Trace: trace.FormatTree(spans)}
+	}
+	var sb strings.Builder
+	seq := req.SinceSeq
+	for _, e := range tr.SlowEntries(req.SinceSeq) {
+		sb.WriteString(e.Format())
+		if e.Seq > seq {
+			seq = e.Seq
+		}
+	}
+	return &Response{Trace: sb.String(), TraceSeq: seq}
 }
 
 // answerQuery runs one query through the query server synchronously.

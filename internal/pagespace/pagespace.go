@@ -24,6 +24,7 @@ import (
 	"mqsched/internal/disk"
 	"mqsched/internal/metrics"
 	"mqsched/internal/rt"
+	"mqsched/internal/trace"
 )
 
 // Stats are cumulative PS counters.
@@ -152,8 +153,19 @@ func (m *Manager) Stats() Stats {
 // blocking the calling process for any disk time. It implements
 // query.PageReader.
 func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
+	return m.ReadPageSpan(ctx, trace.SpanContext{}, ds, page)
+}
+
+// ReadPageSpan is ReadPage recorded as a span under sp (subsystem
+// "pagespace", op "read") with the page, outcome (hit, coalesced, miss,
+// miss-dup), and bytes; any disk read it issues nests a disk span under it.
+// With an inert context it is exactly ReadPage.
+func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page int) []byte {
+	span := sp.Child("pagespace", "read",
+		trace.Str("dataset", ds), trace.I64("page", int64(page)))
 	l := m.table.Get(ds)
 	k := pageKey{ds, page}
+	coalesced := false
 	for {
 		m.mu.Lock()
 		e := m.pages[k]
@@ -163,13 +175,20 @@ func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 			m.mx.hits.Inc()
 			m.lru.MoveToFront(e.elem)
 			data := e.data
+			size := e.size
 			m.mu.Unlock()
+			outcome := "hit"
+			if coalesced {
+				outcome = "coalesced"
+			}
+			span.Finish(trace.Str("outcome", outcome), trace.I64("bytes", size))
 			return data
 
 		case e != nil && !m.opts.DisableDedup:
 			// A fetch is in flight: coalesce onto it.
 			m.st.InflightWaits++
 			m.mx.dedupCoalesced.Inc()
+			coalesced = true
 			gate := e.gate
 			m.mu.Unlock()
 			gate.Wait(ctx)
@@ -182,7 +201,10 @@ func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 			m.st.Misses++
 			m.mx.misses.Inc()
 			m.mu.Unlock()
-			return m.fetchUntracked(ctx, l, page)
+			data := m.fetchUntracked(ctx, span, l, page)
+			span.Finish(trace.Str("outcome", "miss-dup"),
+				trace.I64("bytes", l.PageBytes(page)))
+			return data
 
 		default:
 			e = &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("page %s/%d", ds, page))}
@@ -190,14 +212,18 @@ func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 			m.st.Misses++
 			m.mx.misses.Inc()
 			m.mu.Unlock()
-			return m.fetchAndPublish(ctx, l, e)
+			data := m.fetchAndPublish(ctx, span, l, e)
+			span.Finish(trace.Str("outcome", "miss"),
+				trace.I64("bytes", l.PageBytes(page)))
+			return data
 		}
 	}
 }
 
-// fetchAndPublish reads the page from the farm and makes it resident.
-func (m *Manager) fetchAndPublish(ctx rt.Ctx, l *dataset.Layout, e *pageEntry) []byte {
-	data := m.farm.Read(ctx, l, e.key.page)
+// fetchAndPublish reads the page from the farm and makes it resident. sp
+// parents the disk span (inert for background prefetches).
+func (m *Manager) fetchAndPublish(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, e *pageEntry) []byte {
+	data := m.farm.ReadSpan(ctx, sp, l, e.key.page)
 	size := l.PageBytes(e.key.page)
 
 	m.mu.Lock()
@@ -218,8 +244,8 @@ func (m *Manager) fetchAndPublish(ctx rt.Ctx, l *dataset.Layout, e *pageEntry) [
 
 // fetchUntracked is the dedup-disabled duplicate read path: disk time is
 // paid but the cache is left to the tracked fetch.
-func (m *Manager) fetchUntracked(ctx rt.Ctx, l *dataset.Layout, page int) []byte {
-	data := m.farm.Read(ctx, l, page)
+func (m *Manager) fetchUntracked(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, page int) []byte {
+	data := m.farm.ReadSpan(ctx, sp, l, page)
 	m.mu.Lock()
 	m.st.BytesRead += l.PageBytes(page)
 	m.mx.readBytes.Add(l.PageBytes(page))
@@ -271,7 +297,7 @@ func (m *Manager) StartFetch(ds string, page int) {
 	m.mx.prefetches.Inc()
 	m.mu.Unlock()
 	m.rtm.Spawn(fmt.Sprintf("prefetch-%s-%d", ds, page), func(ctx rt.Ctx) {
-		m.fetchAndPublish(ctx, l, e)
+		m.fetchAndPublish(ctx, trace.SpanContext{}, l, e)
 	})
 }
 

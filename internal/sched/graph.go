@@ -24,6 +24,7 @@ import (
 	"mqsched/internal/query"
 	"mqsched/internal/rt"
 	"mqsched/internal/spatial"
+	"mqsched/internal/trace"
 )
 
 // State is the lifecycle state of a query node.
@@ -76,6 +77,12 @@ type Node struct {
 	// Payload is for the embedding server's use (e.g. the data store entry
 	// backing a CACHED node).
 	Payload any
+
+	// WaitSpan, when active, measures the node's time in the waiting queue;
+	// the graph finishes it at Dequeue with the winning rank and the queue
+	// depth it was selected from. The submitter sets it (as a child of the
+	// query's root span); the zero value is inert.
+	WaitSpan trace.SpanContext
 
 	state State
 	rank  float64
@@ -235,6 +242,8 @@ func (g *Graph) Dequeue() *Node {
 	n.state = Executing
 	g.nextExc++
 	n.ExecSeq = g.nextExc
+	n.WaitSpan.Finish(trace.F64("rank", n.rank),
+		trace.I64("queue_depth", int64(g.waiting.Len())))
 	g.st.Dequeued++
 	g.mx.toExecuting.Inc()
 	g.updateGaugesLocked()

@@ -50,6 +50,10 @@ type Options struct {
 	MinBlockOverlap float64
 	// Tracer, when non-nil, records query lifecycle events.
 	Tracer *trace.Recorder
+	// Spans, when non-nil, records the per-query span tree (server exec
+	// phases, sched wait, data store lookups, page space reads, disk I/O).
+	// A nil tracer costs one nil check per span site and allocates nothing.
+	Spans *trace.Tracer
 	// Metrics, when non-nil, receives the server's counters and per-strategy
 	// latency histograms (mqsched_server_*, labelled with the active ranking
 	// strategy). A nil registry costs one nil check per event.
@@ -157,6 +161,8 @@ type Server struct {
 // Node.Payload.
 type task struct {
 	res *query.Result
+	// span is the query's root span (inert when span tracing is off).
+	span trace.SpanContext
 }
 
 // Ticket is the client handle for a submitted query.
@@ -216,8 +222,14 @@ func (s *Server) Submit(m query.Meta) (*Ticket, error) {
 
 	n := s.graph.Insert(m)
 	res := &query.Result{Meta: m, Arrival: s.rtm.Now()}
-	n.Payload = &task{res: res}
-	s.opts.Tracer.Record(res.Arrival, n.ID, trace.Submitted, m.String())
+	t := &task{res: res}
+	t.span = s.opts.Spans.StartRoot(n.ID, "server", "query",
+		trace.Str("strategy", s.graph.Policy().Name()), trace.Str("query", m.String()))
+	// The sched wait span is finished by the graph when the query is
+	// dequeued (or by Cancel); it measures time spent in the priority queue.
+	n.WaitSpan = t.span.Child("sched", "wait")
+	n.Payload = t
+	s.opts.Tracer.RecordAt(res.Arrival, n.ID, trace.Submitted, m.String())
 
 	s.mu.Lock()
 	s.cond.Signal()
@@ -238,7 +250,9 @@ func (s *Server) Cancel(t *Ticket) bool {
 	t.res.Canceled = true
 	t.res.ExecStart = now
 	t.res.Completed = now
-	s.opts.Tracer.Record(now, t.node.ID, trace.Completed, "canceled")
+	t.node.WaitSpan.Finish(trace.Str("outcome", "canceled"))
+	t.node.Payload.(*task).span.Finish(trace.Str("outcome", "canceled"))
+	s.opts.Tracer.RecordAt(now, t.node.ID, trace.Completed, "canceled")
 	s.mu.Lock()
 	s.st.Canceled++
 	s.mx.canceled.Inc()
@@ -289,7 +303,7 @@ func (s *Server) execute(ctx rt.Ctx, n *sched.Node) {
 	t := n.Payload.(*task)
 	res := t.res
 	res.ExecStart = s.rtm.Now()
-	s.opts.Tracer.Record(res.ExecStart, n.ID, trace.ExecStart, "")
+	s.opts.Tracer.RecordAt(res.ExecStart, n.ID, trace.ExecStart, "")
 
 	out := s.app.NewBlob(ctx, n.Meta)
 	grid := s.app.OutputGrid(n.Meta)
@@ -299,20 +313,30 @@ func (s *Server) execute(ctx rt.Ctx, n *sched.Node) {
 
 	for !remaining.Empty() {
 		// Step 1: project everything useful from the data store.
-		reusedArea += s.projectFromStore(ctx, n, out, remaining)
+		reusedArea += s.projectFromStore(ctx, n, t.span, out, remaining)
 		if remaining.Empty() {
 			break
 		}
 		// Step 2: optionally stall on an overlapping EXECUTING producer.
-		if s.blockOnProducer(ctx, n, remaining, waited, res) {
+		if s.blockOnProducer(ctx, n, t.span, remaining, waited, res) {
 			continue // producer finished; retry the lookup
 		}
-		// Step 3: compute the rest from raw data (the sub-queries).
+		// Step 3: compute the rest from raw data (the sub-queries). Raw
+		// chunk reads go through the page space with the compute span as
+		// parent, so PS and disk spans attribute to this query; with tracing
+		// off the manager is passed straight through (no wrapper allocation).
 		remaining.Coalesce()
+		var pr query.PageReader = s.ps
+		compute := t.span.Child("server", "compute",
+			trace.I64("subqueries", int64(len(remaining.Rects()))))
+		if compute.Active() {
+			pr = spanReader{ps: s.ps, sc: compute}
+		}
 		for _, sub := range remaining.Rects() {
-			read := s.app.ComputeRaw(ctx, n.Meta, sub, out, s.ps)
+			read := s.app.ComputeRaw(ctx, n.Meta, sub, out, pr)
 			res.InputBytesRead += read
 		}
+		compute.Finish(trace.I64("input_bytes", res.InputBytesRead))
 		break
 	}
 
@@ -323,17 +347,35 @@ func (s *Server) execute(ctx rt.Ctx, n *sched.Node) {
 	}
 
 	// Step 4: store the result for reuse and settle the node state.
-	s.finish(n, out, res, reusedArea, gridArea)
+	s.finish(n, t, out, res, reusedArea, gridArea)
 }
+
+// spanReader threads a query's span context into page space reads so PS and
+// disk spans nest under the query's tree. It forwards prefetching.
+type spanReader struct {
+	ps *pagespace.Manager
+	sc trace.SpanContext
+}
+
+func (r spanReader) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
+	return r.ps.ReadPageSpan(ctx, r.sc, ds, page)
+}
+
+func (r spanReader) StartFetch(ds string, page int) { r.ps.StartFetch(ds, page) }
 
 // projectFromStore projects data-store candidates into out, returning the
 // output area newly covered.
-func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, out *query.Blob, remaining *geom.Region) int64 {
+func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext, out *query.Blob, remaining *geom.Region) int64 {
 	if s.ds == nil {
 		return 0
 	}
 	var gained int64
-	cands := s.ds.Lookup(n.Meta, s.opts.MinReuseOverlap)
+	cands := s.ds.LookupTraced(sp, n.Meta, s.opts.MinReuseOverlap)
+	var projections int64
+	project := trace.SpanContext{}
+	if len(cands) > 0 {
+		project = sp.Child("server", "project", trace.I64("candidates", int64(len(cands))))
+	}
 	for _, c := range cands {
 		if !remaining.Empty() {
 			coverable := s.app.Coverable(c.Entry.Blob.Meta, n.Meta)
@@ -343,6 +385,7 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, out *query.Blob, re
 					newArea := remaining.IntersectArea(covered)
 					remaining.Subtract(covered)
 					gained += newArea
+					projections++
 					s.mu.Lock()
 					s.st.Projections++
 					s.mx.projections.Inc()
@@ -352,12 +395,13 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, out *query.Blob, re
 		}
 		c.Entry.Unpin()
 	}
+	project.Finish(trace.I64("projections", projections), trace.I64("area_gained", gained))
 	return gained
 }
 
 // blockOnProducer stalls on the best eligible EXECUTING producer. It returns
 // true if it waited (the caller should retry the data store lookup).
-func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, remaining *geom.Region, waited map[*sched.Node]bool, res *query.Result) bool {
+func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext, remaining *geom.Region, waited map[*sched.Node]bool, res *query.Result) bool {
 	if !s.opts.BlockOnExecuting || s.ds == nil {
 		return false
 	}
@@ -381,18 +425,21 @@ func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, remaining *geom.Regi
 		s.st.Blocks++
 		s.mx.blocks.Inc()
 		s.mu.Unlock()
-		s.opts.Tracer.Record(s.rtm.Now(), n.ID, trace.Blocked, fmt.Sprintf("on q%d", p.ID))
+		s.opts.Tracer.RecordAt(s.rtm.Now(), n.ID, trace.Blocked, fmt.Sprintf("on q%d", p.ID))
+		block := sp.Child("server", "block", trace.I64("producer", p.ID))
 		p.Done.Wait(ctx)
-		s.opts.Tracer.Record(s.rtm.Now(), n.ID, trace.Unblocked, "")
+		block.Finish()
+		s.opts.Tracer.RecordAt(s.rtm.Now(), n.ID, trace.Unblocked, "")
 		return true
 	}
 	return false
 }
 
 // finish publishes the result and settles the scheduling-graph node.
-func (s *Server) finish(n *sched.Node, out *query.Blob, res *query.Result, reusedArea, gridArea int64) {
+func (s *Server) finish(n *sched.Node, t *task, out *query.Blob, res *query.Result, reusedArea, gridArea int64) {
 	cached := false
 	if s.ds != nil {
+		store := t.span.Child("datastore", "store", trace.I64("bytes", out.Size))
 		if entry := s.ds.Insert(out); entry != nil {
 			s.emu.Lock()
 			s.entryNode[entry] = n
@@ -408,13 +455,19 @@ func (s *Server) finish(n *sched.Node, out *query.Blob, res *query.Result, reuse
 				cached = true
 			}
 		}
+		store.Finish(trace.Bool("cached", cached))
 	}
 	if !cached {
 		s.graph.Remove(n)
 	}
 
 	res.Completed = s.rtm.Now()
-	s.opts.Tracer.Record(res.Completed, n.ID, trace.Completed, "")
+	s.opts.Tracer.RecordAt(res.Completed, n.ID, trace.Completed, "")
+	t.span.Finish(
+		trace.F64("reused_frac", res.ReusedFrac),
+		trace.I64("input_bytes", res.InputBytesRead),
+		trace.I64("blocks", int64(res.WaitedOnExecuting)),
+		trace.Bool("cached", cached))
 	s.graph.Observe(res.ResponseTime()) // feedback for self-tuning policies
 
 	s.mu.Lock()
@@ -449,7 +502,7 @@ func (s *Server) onEvict(e *datastore.Entry) {
 	delete(s.entryNode, e)
 	s.emu.Unlock()
 	if n != nil {
-		s.opts.Tracer.Record(s.rtm.Now(), n.ID, trace.SwappedOut, "")
+		s.opts.Tracer.RecordAt(s.rtm.Now(), n.ID, trace.SwappedOut, "")
 		s.graph.Remove(n)
 	}
 }

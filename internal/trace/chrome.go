@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ChromeEvent is one Chrome trace_event record. The exporter emits complete
+// ("X") duration events — one per span — plus metadata ("M") events naming
+// each query's row, in the JSON Object Format loadable by chrome://tracing
+// and Perfetto (ui.perfetto.dev).
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace_event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromePid groups every span under one synthetic process row; queries are
+// the threads within it.
+const chromePid = 1
+
+// ChromeTraceOf converts spans to the Chrome trace_event object: each span
+// becomes a complete event with ts/dur in microseconds of runtime-clock
+// time, cat = subsystem, tid = query ID (so Perfetto renders one row per
+// query with subsystem spans nested by time), and args = span attributes
+// plus the span/parent IDs.
+func ChromeTraceOf(spans []Span) ChromeTrace {
+	ct := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	queries := map[int64]bool{}
+	for _, s := range spans {
+		args := make(map[string]any, len(s.Attrs)+2)
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value()
+		}
+		args["span_id"] = s.ID
+		if s.Parent != 0 {
+			args["parent_id"] = s.Parent
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
+			Name: s.Subsystem + "/" + s.Op,
+			Cat:  s.Subsystem,
+			Ph:   "X",
+			Ts:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Duration()) / float64(time.Microsecond),
+			Pid:  chromePid,
+			Tid:  s.QueryID,
+			Args: args,
+		})
+		queries[s.QueryID] = true
+	}
+	ids := make([]int64, 0, len(queries))
+	for id := range queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  chromePid,
+			Tid:  id,
+			Args: map[string]any{"name": fmt.Sprintf("q%d", id)},
+		})
+	}
+	return ct
+}
+
+// WriteChromeTrace writes spans as Chrome trace_event JSON.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ChromeTraceOf(spans))
+}
+
+// WriteChrome writes the tracer's current ring contents as Chrome
+// trace_event JSON. On a nil tracer it writes an empty (but valid) trace.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChromeTrace(w, t.Spans())
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mqsched/internal/stats"
+)
+
+// StrategyStats are response and wait time percentiles derived from span
+// data for one ranking strategy — the per-strategy tail view the aggregate
+// histograms cannot give (fixed buckets quantize; spans do not).
+type StrategyStats struct {
+	Strategy string
+	Queries  int
+	// Percentiles in seconds over root (query) span durations.
+	ResponseP50, ResponseP95, ResponseP99 float64
+	// Percentiles in seconds over sched/wait child span durations.
+	WaitP50, WaitP95, WaitP99 float64
+}
+
+// StrategyStatsOf derives per-strategy percentiles from spans: root server
+// query spans contribute response times (grouped by their "strategy"
+// attribute), and sched/wait spans contribute wait times via their query ID.
+func StrategyStatsOf(spans []Span) []StrategyStats {
+	waits := map[int64]float64{}
+	for _, s := range spans {
+		if s.Subsystem == "sched" && s.Op == "wait" {
+			waits[s.QueryID] = s.Duration().Seconds()
+		}
+	}
+	type acc struct {
+		resp, wait []float64
+	}
+	byStrategy := map[string]*acc{}
+	for _, s := range spans {
+		if s.Parent != 0 || s.Subsystem != "server" || s.Op != "query" {
+			continue
+		}
+		strategy := "?"
+		for _, a := range s.Attrs {
+			if a.Key == "strategy" {
+				strategy = a.s
+				break
+			}
+		}
+		a := byStrategy[strategy]
+		if a == nil {
+			a = &acc{}
+			byStrategy[strategy] = a
+		}
+		a.resp = append(a.resp, s.Duration().Seconds())
+		if w, ok := waits[s.QueryID]; ok {
+			a.wait = append(a.wait, w)
+		}
+	}
+	names := make([]string, 0, len(byStrategy))
+	for name := range byStrategy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]StrategyStats, 0, len(names))
+	for _, name := range names {
+		a := byStrategy[name]
+		out = append(out, StrategyStats{
+			Strategy:    name,
+			Queries:     len(a.resp),
+			ResponseP50: stats.Percentile(a.resp, 50),
+			ResponseP95: stats.Percentile(a.resp, 95),
+			ResponseP99: stats.Percentile(a.resp, 99),
+			WaitP50:     stats.Percentile(a.wait, 50),
+			WaitP95:     stats.Percentile(a.wait, 95),
+			WaitP99:     stats.Percentile(a.wait, 99),
+		})
+	}
+	return out
+}
+
+// StrategyStats derives percentiles from the tracer's current ring contents.
+func (t *Tracer) StrategyStats() []StrategyStats {
+	return StrategyStatsOf(t.Spans())
+}
+
+// FormatStrategyStats renders the derived statistics as an aligned table for
+// end-of-run summaries.
+func FormatStrategyStats(ss []StrategyStats) string {
+	if len(ss) == 0 {
+		return "(no query spans)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %7s %12s %12s %12s %12s %12s %12s\n",
+		"strategy", "queries", "resp p50", "resp p95", "resp p99", "wait p50", "wait p95", "wait p99")
+	for _, s := range ss {
+		fmt.Fprintf(&b, "%-10s %7d %11.3fs %11.3fs %11.3fs %11.3fs %11.3fs %11.3fs\n",
+			s.Strategy, s.Queries,
+			s.ResponseP50, s.ResponseP95, s.ResponseP99,
+			s.WaitP50, s.WaitP95, s.WaitP99)
+	}
+	return b.String()
+}

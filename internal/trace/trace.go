@@ -61,15 +61,40 @@ type Event struct {
 // Recorder accumulates events. Safe for concurrent use; a nil *Recorder
 // discards everything.
 type Recorder struct {
+	// now stamps Record calls. It must be the owning runtime's clock
+	// (rt.Runtime.Now): under the simulated runtime wall-clock timestamps
+	// would interleave meaninglessly with virtual-time ones, so the clock is
+	// fixed at construction rather than chosen per call site.
+	now    func() time.Duration
 	mu     sync.Mutex
 	events []Event
 }
 
-// New returns an empty recorder.
+// New returns an empty recorder whose Record method stamps events at zero;
+// use RecordAt, or NewWithClock for self-stamping.
 func New() *Recorder { return &Recorder{} }
 
-// Record appends one event. No-op on a nil recorder.
-func (r *Recorder) Record(at time.Duration, queryID int64, kind Kind, note string) {
+// NewWithClock returns a recorder stamping Record calls with the given
+// clock — pass the runtime's Now so simulated runs record virtual time.
+func NewWithClock(now func() time.Duration) *Recorder { return &Recorder{now: now} }
+
+// Record appends one event stamped with the recorder's clock. No-op on a nil
+// recorder.
+func (r *Recorder) Record(queryID int64, kind Kind, note string) {
+	if r == nil {
+		return
+	}
+	var at time.Duration
+	if r.now != nil {
+		at = r.now()
+	}
+	r.RecordAt(at, queryID, kind, note)
+}
+
+// RecordAt appends one event with an explicit runtime-clock timestamp (for
+// event times that were captured earlier, e.g. a query's arrival). No-op on
+// a nil recorder.
+func (r *Recorder) RecordAt(at time.Duration, queryID int64, kind Kind, note string) {
 	if r == nil {
 		return
 	}

@@ -8,7 +8,7 @@ import (
 
 func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
-	r.Record(0, 1, Submitted, "")
+	r.RecordAt(0, 1, Submitted, "")
 	if r.Events() != nil || r.Len() != 0 {
 		t.Fatal("nil recorder should be inert")
 	}
@@ -19,9 +19,9 @@ func TestNilRecorderIsSafe(t *testing.T) {
 
 func TestRecordAndEvents(t *testing.T) {
 	r := New()
-	r.Record(1*time.Second, 1, Submitted, "q")
-	r.Record(2*time.Second, 1, ExecStart, "")
-	r.Record(5*time.Second, 1, Completed, "")
+	r.RecordAt(1*time.Second, 1, Submitted, "q")
+	r.RecordAt(2*time.Second, 1, ExecStart, "")
+	r.RecordAt(5*time.Second, 1, Completed, "")
 	if r.Len() != 3 {
 		t.Fatalf("Len = %d", r.Len())
 	}
@@ -48,15 +48,15 @@ func TestKindString(t *testing.T) {
 func TestGantt(t *testing.T) {
 	r := New()
 	// q1: waits 0-2s, executes 2-6s, blocked 3-4s.
-	r.Record(0, 1, Submitted, "")
-	r.Record(2*time.Second, 1, ExecStart, "")
-	r.Record(3*time.Second, 1, Blocked, "on q2")
-	r.Record(4*time.Second, 1, Unblocked, "")
-	r.Record(6*time.Second, 1, Completed, "")
+	r.RecordAt(0, 1, Submitted, "")
+	r.RecordAt(2*time.Second, 1, ExecStart, "")
+	r.RecordAt(3*time.Second, 1, Blocked, "on q2")
+	r.RecordAt(4*time.Second, 1, Unblocked, "")
+	r.RecordAt(6*time.Second, 1, Completed, "")
 	// q2: starts immediately, completes at 4s.
-	r.Record(0, 2, Submitted, "")
-	r.Record(0, 2, ExecStart, "")
-	r.Record(4*time.Second, 2, Completed, "")
+	r.RecordAt(0, 2, Submitted, "")
+	r.RecordAt(0, 2, ExecStart, "")
+	r.RecordAt(4*time.Second, 2, Completed, "")
 
 	g := r.Gantt(60)
 	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
@@ -81,14 +81,14 @@ func TestGanttEdgeCases(t *testing.T) {
 	if got := r.Gantt(40); !strings.Contains(got, "no events") {
 		t.Fatalf("empty recorder: %q", got)
 	}
-	r.Record(0, 1, Submitted, "")
+	r.RecordAt(0, 1, Submitted, "")
 	if got := r.Gantt(40); !strings.Contains(got, "no completed") {
 		t.Fatalf("no completions: %q", got)
 	}
 	// A query blocked at completion (unclosed range) must not panic.
-	r.Record(time.Second, 1, ExecStart, "")
-	r.Record(2*time.Second, 1, Blocked, "")
-	r.Record(3*time.Second, 1, Completed, "")
+	r.RecordAt(time.Second, 1, ExecStart, "")
+	r.RecordAt(2*time.Second, 1, Blocked, "")
+	r.RecordAt(3*time.Second, 1, Completed, "")
 	if got := r.Gantt(40); !strings.Contains(got, "q1") {
 		t.Fatalf("unclosed block: %q", got)
 	}
@@ -96,9 +96,9 @@ func TestGanttEdgeCases(t *testing.T) {
 
 func TestSummary(t *testing.T) {
 	r := New()
-	r.Record(0, 1, Submitted, "")
-	r.Record(0, 2, Submitted, "")
-	r.Record(time.Second, 1, Completed, "")
+	r.RecordAt(0, 1, Submitted, "")
+	r.RecordAt(0, 2, Submitted, "")
+	r.RecordAt(time.Second, 1, Completed, "")
 	s := r.Summary()
 	if !strings.Contains(s, "submitted=2") || !strings.Contains(s, "completed=1") {
 		t.Fatalf("summary = %q", s)

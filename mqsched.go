@@ -35,6 +35,7 @@ package mqsched
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mqsched/internal/dataset"
 	"mqsched/internal/datastore"
@@ -150,6 +151,21 @@ type Config struct {
 	// Trace records query lifecycle events, retrievable via System.Trace
 	// (Gantt renderings of the schedule).
 	Trace bool
+	// TraceSpans records per-query span trees (server, sched, data store,
+	// page space, disk), retrievable via System.Spans — exportable as Chrome
+	// trace_event JSON and feeding the slow-query log. When false the span
+	// layer costs one nil check per instrumentation site.
+	TraceSpans bool
+	// TraceCapacity bounds the span ring buffer (default 16384 spans;
+	// ignored unless TraceSpans is set).
+	TraceCapacity int
+	// SlowQueryThreshold marks root spans slower than this duration
+	// (runtime clock) as slow queries; see trace.TracerOptions.
+	SlowQueryThreshold time.Duration
+	// SlowQueryPercentile, in (0,100) e.g. 99, marks root spans slower than
+	// this trailing percentile of recent responses as slow; see
+	// trace.TracerOptions.
+	SlowQueryPercentile float64
 	// EnableMetrics registers every subsystem's counters, gauges, and latency
 	// histograms on a metrics registry, retrievable via System.Metrics and
 	// served by cmd/mqserver's /metrics endpoint (Prometheus text format).
@@ -171,6 +187,7 @@ type System struct {
 	graph  *sched.Graph
 	srv    *server.Server
 	tracer *trace.Recorder
+	spans  *trace.Tracer
 	reg    *metrics.Registry
 
 	cmu     sync.Mutex
@@ -233,7 +250,14 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 		s.ds = datastore.New(s.app, datastore.Options{Budget: cfg.DSBudget, Metrics: s.reg})
 	}
 	if cfg.Trace {
-		s.tracer = trace.New()
+		s.tracer = trace.NewWithClock(s.rtm.Now)
+	}
+	if cfg.TraceSpans {
+		s.spans = trace.NewTracer(s.rtm.Now, trace.TracerOptions{
+			Capacity:       cfg.TraceCapacity,
+			SlowThreshold:  cfg.SlowQueryThreshold,
+			SlowPercentile: cfg.SlowQueryPercentile,
+		})
 	}
 	s.graph = sched.New(s.rtm, s.app, policy)
 	s.graph.UseMetrics(s.reg)
@@ -241,6 +265,7 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 		Threads:          cfg.Threads,
 		BlockOnExecuting: !cfg.DisableBlocking,
 		Tracer:           s.tracer,
+		Spans:            s.spans,
 		Metrics:          s.reg,
 	})
 	return s, nil
@@ -295,6 +320,9 @@ func (s *System) RunWith(fn func(Ctx)) error {
 
 // Trace returns the lifecycle recorder (nil unless Config.Trace was set).
 func (s *System) Trace() *trace.Recorder { return s.tracer }
+
+// Spans returns the span tracer (nil unless Config.TraceSpans was set).
+func (s *System) Spans() *trace.Tracer { return s.spans }
 
 // Metrics returns the unified metrics registry (nil unless
 // Config.EnableMetrics was set).
