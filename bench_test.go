@@ -15,15 +15,31 @@
 package mqsched_test
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"sort"
 	"testing"
+	"time"
 
+	"mqsched/internal/dataset"
+	"mqsched/internal/datastore"
+	"mqsched/internal/disk"
 	"mqsched/internal/experiment"
+	"mqsched/internal/geom"
+	"mqsched/internal/pagespace"
+	"mqsched/internal/rt"
+	"mqsched/internal/sched"
+	"mqsched/internal/server"
+	"mqsched/internal/testapp"
 	"mqsched/internal/vm"
 )
 
-var paperScale = flag.Bool("paperscale", false, "run benchmarks at the paper's full 256-query scale")
+var (
+	paperScale = flag.Bool("paperscale", false, "run benchmarks at the paper's full 256-query scale")
+	scalingOut = flag.String("scalingout", "", "write BenchmarkScaling results as JSON to this path")
+)
 
 // benchBase returns the benchmark workload scale.
 func benchBase() experiment.Config {
@@ -246,6 +262,110 @@ func BenchmarkX1Extensions(b *testing.B) {
 				b.ReportMetric(m.TrimmedResponse, "resp_s")
 			}
 		})
+	}
+}
+
+// scalingQPS runs the multi-core scaling workload once on the real (wall
+// clock) runtime and returns queries completed per second. The workload is
+// 64 disjoint 200x200 testapp tiles over a 2000x2000 dataset submitted by 8
+// concurrent clients; tiles are disjoint so there is no result reuse and
+// every query pays its own (simulated, time-scaled) I/O. Throughput then
+// comes from overlapping that I/O across worker threads — serialization on
+// the graph, server, or page-space locks shows up directly as a flat curve.
+func scalingQPS(b *testing.B, threads int) float64 {
+	b.Helper()
+	rtm := rt.NewReal(rt.RealOptions{TimeScale: 0.2})
+	l := dataset.New("d", 2000, 2000, 1, 100)
+	table := dataset.NewTable(l)
+	app := testapp.New(table)
+	farm := disk.NewFarm(rtm, disk.Config{Disks: 16, ThrashPerStream: -1}, testapp.Generate)
+	ps := pagespace.New(rtm, table, farm, pagespace.Options{Budget: 16 << 20})
+	ds := datastore.New(app, datastore.Options{Budget: 1}) // disjoint tiles: reuse impossible
+	graph := sched.New(rtm, app, sched.FIFO{})
+	srv := server.New(rtm, app, graph, ds, ps, server.Options{Threads: threads})
+
+	const clients = 8
+	const perClient = 8 // 8x8 = 64 tiles of the 10x10 grid
+	errs := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		rtm.Spawn(fmt.Sprintf("client%d", c), func(ctx rt.Ctx) {
+			tickets := make([]*server.Ticket, 0, perClient)
+			for q := 0; q < perClient; q++ {
+				x, y := int64(q)*200, int64(c)*200
+				tk, err := srv.Submit(testapp.Meta{DS: "d", Rect: geom.R(x, y, x+200, y+200)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				tickets = append(tickets, tk)
+			}
+			for _, tk := range tickets {
+				if res := tk.Wait(ctx); res.Blob == nil {
+					errs <- fmt.Errorf("client %d: nil blob", c)
+					return
+				}
+			}
+			errs <- nil
+		})
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	srv.Close()
+	rtm.Wait()
+	if got := srv.Stats().Completed; got != clients*perClient {
+		b.Fatalf("completed %d of %d", got, clients*perClient)
+	}
+	return float64(clients*perClient) / elapsed.Seconds()
+}
+
+// BenchmarkScaling measures wall-clock query throughput of the full stack on
+// the real runtime as the worker pool grows. Unlike the Fig4 benchmark
+// (virtual time, one simulated clock), this runs real goroutines through the
+// real locks, so it regresses when a global lock reappears on the hot path.
+// With -scalingout=PATH the best qps per thread count is written as JSON
+// (see BENCH_scaling.json for the committed baseline).
+func BenchmarkScaling(b *testing.B) {
+	best := map[int]float64{}
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("T=%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qps := scalingQPS(b, th)
+				if qps > best[th] {
+					best[th] = qps
+				}
+				b.ReportMetric(qps, "qps")
+			}
+		})
+	}
+	if *scalingOut == "" {
+		return
+	}
+	type point struct {
+		Threads int     `json:"threads"`
+		QPS     float64 `json:"qps"`
+	}
+	var pts []point
+	for th, qps := range best {
+		pts = append(pts, point{Threads: th, QPS: qps})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Threads < pts[j].Threads })
+	out := struct {
+		Benchmark string  `json:"benchmark"`
+		Queries   int     `json:"queries"`
+		Points    []point `json:"points"`
+	}{Benchmark: "BenchmarkScaling", Queries: 64, Points: pts}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*scalingOut, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -35,6 +35,7 @@ func main() {
 		threads  = flag.Int("threads", 4, "query threads (where not swept)")
 		cpus     = flag.Int("cpus", 24, "processors of the simulated SMP")
 		disks    = flag.Int("disks", 4, "spindles in the disk farm")
+		psPre    = flag.Int("psprefetch", 0, "cap on concurrent background page prefetches (0 = 2x spindles, negative = unlimited)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		csvDir   = flag.String("csv", "", "directory to write CSV copies of each table")
 		dumpWl   = flag.String("dumpworkload", "", "write the generated workload (both ops) as JSON to this path and exit")
@@ -55,6 +56,7 @@ func main() {
 		CPUs:             *cpus,
 		Disks:            *disks,
 		Seed:             *seed,
+		PSPrefetchLimit:  *psPre,
 	}
 
 	if *dumpWl != "" {

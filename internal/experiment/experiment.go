@@ -74,6 +74,10 @@ type Config struct {
 	// PrefetchDepth enables chunk read-ahead in the VM application
 	// (ablation A4; 0 = the paper's synchronous reads).
 	PrefetchDepth int
+	// PSPrefetchLimit caps concurrent background page fetches in the page
+	// space (0 = the manager's default of 2x the spindle count, negative =
+	// unlimited). Hints beyond the cap are dropped, never queued.
+	PSPrefetchLimit int
 	// Mode selects the client browsing pattern (experiment X2; default the
 	// paper's hotspot browse).
 	Mode driver.Mode
@@ -197,9 +201,10 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 	farm := disk.NewFarm(rtm, disk.Config{Disks: cfg.Disks}, nil)
 	farm.UseMetrics(cfg.Metrics)
 	ps := pagespace.New(rtm, table, farm, pagespace.Options{
-		Budget:       cfg.PSBudget,
-		DisableDedup: cfg.DisablePSDedup,
-		Metrics:      cfg.Metrics,
+		Budget:        cfg.PSBudget,
+		DisableDedup:  cfg.DisablePSDedup,
+		PrefetchLimit: cfg.PSPrefetchLimit,
+		Metrics:       cfg.Metrics,
 	})
 	var ds *datastore.Manager
 	if cfg.DSBudget >= 0 {

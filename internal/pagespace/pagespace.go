@@ -13,12 +13,26 @@
 // striped farm rewards with sequential positioning; the manager preserves
 // that order. Caching: resident pages are kept under a byte budget with LRU
 // replacement.
+//
+// Concurrency: the manager is lock-striped. Pages hash onto a fixed set of
+// shards, each with its own mutex, page table, and LRU list, so concurrent
+// queries touching disjoint pages never serialize on a manager-wide lock
+// (the paper's query threads scale with the processor count; a single cache
+// mutex would cap that). The byte budget is global: residency is accounted
+// in one atomic, and eviction picks the globally least-recently-used page by
+// comparing the per-shard LRU tails under a monotonic touch clock — exact
+// LRU order when operations are sequential, approximate (and safe) under
+// concurrent touches. Shard locks are never nested and never held across a
+// blocking call.
 package pagespace
 
 import (
 	"container/list"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"mqsched/internal/dataset"
 	"mqsched/internal/disk"
@@ -35,6 +49,9 @@ type Stats struct {
 	Evictions     int64
 	BytesRead     int64 // bytes fetched from the farm
 	Prefetches    int64 // background fetches started by StartFetch
+	// PrefetchDrops counts StartFetch hints discarded because the
+	// background-fetch concurrency cap was reached.
+	PrefetchDrops int64
 }
 
 // Options configure the manager.
@@ -42,6 +59,14 @@ type Options struct {
 	// Budget is the buffer space in bytes (default 32 MB, the paper's PS
 	// size).
 	Budget int64
+	// Shards is the number of lock stripes (default 16, minimum 1). Pages
+	// hash onto shards; the byte budget stays global.
+	Shards int
+	// PrefetchLimit caps concurrently running background fetches started by
+	// StartFetch; hints beyond the cap are dropped, so a flood of prefetch
+	// hints cannot swamp the disk farm ahead of foreground reads. 0 means
+	// the default of 2× the farm's spindle count; negative means unlimited.
+	PrefetchLimit int
 	// DisableDedup turns off in-flight duplicate elimination (ablation A2):
 	// concurrent requests for the same absent page each go to disk.
 	DisableDedup bool
@@ -56,6 +81,7 @@ type psMetrics struct {
 	hits, misses            *metrics.Counter
 	dedupCoalesced          *metrics.Counter
 	evictions, prefetches   *metrics.Counter
+	prefetchDrops           *metrics.Counter
 	readBytes               *metrics.Counter
 	residentBytes, resident *metrics.Gauge
 }
@@ -75,6 +101,8 @@ func newPSMetrics(reg *metrics.Registry) psMetrics {
 			"Resident pages dropped under the byte budget."),
 		prefetches: reg.Counter("mqsched_pagespace_prefetches_total",
 			"Background fetches started by StartFetch."),
+		prefetchDrops: reg.Counter("mqsched_pagespace_prefetch_drops_total",
+			"StartFetch hints dropped at the background-fetch concurrency cap."),
 		readBytes: reg.Counter("mqsched_pagespace_read_bytes_total",
 			"Bytes fetched from the disk farm."),
 		residentBytes: reg.Gauge("mqsched_pagespace_resident_bytes",
@@ -82,6 +110,15 @@ func newPSMetrics(reg *metrics.Registry) psMetrics {
 		resident: reg.Gauge("mqsched_pagespace_resident_pages",
 			"Pages currently resident."),
 	}
+}
+
+// psStats are the live counters behind Stats (atomics: the read path must
+// not share a lock across shards).
+type psStats struct {
+	hits, misses, inflightWaits  atomic.Int64
+	evictions, bytesRead         atomic.Int64
+	prefetches, prefetchDrops    atomic.Int64
+	residentPages, residentBytes atomic.Int64
 }
 
 // Manager is the page space manager.
@@ -92,13 +129,24 @@ type Manager struct {
 	opts  Options
 
 	mx psMetrics
+	st psStats
 
-	mu      sync.Mutex
-	pages   map[pageKey]*pageEntry
-	lru     *list.List // front = most recent; values are *pageEntry
-	used    int64
-	st      Stats
+	shards []shard
+	// clock is the global LRU touch counter: every access stamps the page,
+	// so eviction can compare shard tails and drop the globally oldest.
+	clock atomic.Int64
+	// prefetching counts in-flight background fetches against PrefetchLimit.
+	prefetching atomic.Int64
+
 	newGate func(string) rt.Gate
+}
+
+// shard is one lock stripe: a page table plus an LRU list of its resident
+// pages (front = most recent).
+type shard struct {
+	mu    sync.Mutex
+	pages map[pageKey]*pageEntry
+	lru   *list.List // values are *pageEntry
 }
 
 type pageKey struct {
@@ -113,6 +161,7 @@ type pageEntry struct {
 	gate     rt.Gate // open when the fetch completes (only while fetching)
 	data     []byte
 	elem     *list.Element
+	touch    int64 // global LRU clock at last access (shard lock held)
 }
 
 // New returns a manager over the farm for the given datasets.
@@ -120,33 +169,58 @@ func New(r rt.Runtime, table *dataset.Table, farm *disk.Farm, opts Options) *Man
 	if opts.Budget == 0 {
 		opts.Budget = 32 << 20
 	}
-	return &Manager{
+	if opts.Shards <= 0 {
+		opts.Shards = 16
+	}
+	if opts.PrefetchLimit == 0 {
+		opts.PrefetchLimit = 2 * farm.Disks()
+	}
+	m := &Manager{
 		rtm:     r,
 		table:   table,
 		farm:    farm,
 		opts:    opts,
 		mx:      newPSMetrics(opts.Metrics),
-		pages:   map[pageKey]*pageEntry{},
-		lru:     list.New(),
+		shards:  make([]shard, opts.Shards),
 		newGate: func(reason string) rt.Gate { return r.NewGate(reason) },
 	}
+	for i := range m.shards {
+		m.shards[i].pages = map[pageKey]*pageEntry{}
+		m.shards[i].lru = list.New()
+	}
+	return m
+}
+
+// shardFor maps a page key onto its lock stripe (deterministic).
+func (m *Manager) shardFor(k pageKey) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(k.ds))
+	var b [4]byte
+	b[0] = byte(k.page)
+	b[1] = byte(k.page >> 8)
+	b[2] = byte(k.page >> 16)
+	b[3] = byte(k.page >> 24)
+	h.Write(b[:])
+	return &m.shards[h.Sum32()%uint32(len(m.shards))]
 }
 
 // Budget returns the configured byte budget.
 func (m *Manager) Budget() int64 { return m.opts.Budget }
 
 // Used returns the bytes currently resident.
-func (m *Manager) Used() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.used
-}
+func (m *Manager) Used() int64 { return m.st.residentBytes.Load() }
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.st
+	return Stats{
+		Hits:          m.st.hits.Load(),
+		Misses:        m.st.misses.Load(),
+		InflightWaits: m.st.inflightWaits.Load(),
+		Evictions:     m.st.evictions.Load(),
+		BytesRead:     m.st.bytesRead.Load(),
+		Prefetches:    m.st.prefetches.Load(),
+		PrefetchDrops: m.st.prefetchDrops.Load(),
+	}
 }
 
 // ReadPage returns the payload of one page (nil on the synthetic runtime),
@@ -165,18 +239,20 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 		trace.Str("dataset", ds), trace.I64("page", int64(page)))
 	l := m.table.Get(ds)
 	k := pageKey{ds, page}
+	sh := m.shardFor(k)
 	coalesced := false
 	for {
-		m.mu.Lock()
-		e := m.pages[k]
+		sh.mu.Lock()
+		e := sh.pages[k]
 		switch {
 		case e != nil && e.resident:
-			m.st.Hits++
+			m.st.hits.Add(1)
 			m.mx.hits.Inc()
-			m.lru.MoveToFront(e.elem)
+			sh.lru.MoveToFront(e.elem)
+			e.touch = m.clock.Add(1)
 			data := e.data
 			size := e.size
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			outcome := "hit"
 			if coalesced {
 				outcome = "coalesced"
@@ -186,11 +262,11 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 
 		case e != nil && !m.opts.DisableDedup:
 			// A fetch is in flight: coalesce onto it.
-			m.st.InflightWaits++
+			m.st.inflightWaits.Add(1)
 			m.mx.dedupCoalesced.Inc()
 			coalesced = true
 			gate := e.gate
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			gate.Wait(ctx)
 			// The page is normally resident now, but may already have been
 			// evicted under memory pressure; retry from the top.
@@ -198,9 +274,9 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 
 		case e != nil:
 			// Dedup disabled: issue a duplicate read without registering it.
-			m.st.Misses++
+			m.st.misses.Add(1)
 			m.mx.misses.Inc()
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			data := m.fetchUntracked(ctx, span, l, page)
 			span.Finish(trace.Str("outcome", "miss-dup"),
 				trace.I64("bytes", l.PageBytes(page)))
@@ -208,10 +284,10 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 
 		default:
 			e = &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("page %s/%d", ds, page))}
-			m.pages[k] = e
-			m.st.Misses++
+			sh.pages[k] = e
+			m.st.misses.Add(1)
 			m.mx.misses.Inc()
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			data := m.fetchAndPublish(ctx, span, l, e)
 			span.Finish(trace.Str("outcome", "miss"),
 				trace.I64("bytes", l.PageBytes(page)))
@@ -225,20 +301,24 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 func (m *Manager) fetchAndPublish(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, e *pageEntry) []byte {
 	data := m.farm.ReadSpan(ctx, sp, l, e.key.page)
 	size := l.PageBytes(e.key.page)
+	sh := m.shardFor(e.key)
 
-	m.mu.Lock()
+	sh.mu.Lock()
 	e.resident = true
 	e.data = data
 	e.size = size
-	e.elem = m.lru.PushFront(e)
-	m.used += size
-	m.st.BytesRead += size
+	e.elem = sh.lru.PushFront(e)
+	e.touch = m.clock.Add(1)
+	sh.mu.Unlock()
+
+	m.st.residentBytes.Add(size)
+	m.st.residentPages.Add(1)
+	m.st.bytesRead.Add(size)
 	m.mx.readBytes.Add(size)
-	m.evictOverBudgetLocked(e)
-	m.mx.residentBytes.Set(m.used)
-	m.mx.resident.Set(int64(m.lru.Len()))
+	m.evictOverBudget(e)
+	m.mx.residentBytes.Set(m.st.residentBytes.Load())
+	m.mx.resident.Set(m.st.residentPages.Load())
 	e.gate.Open() // wake coalesced waiters (no park: open is non-blocking)
-	m.mu.Unlock()
 	return data
 }
 
@@ -246,65 +326,122 @@ func (m *Manager) fetchAndPublish(ctx rt.Ctx, sp trace.SpanContext, l *dataset.L
 // paid but the cache is left to the tracked fetch.
 func (m *Manager) fetchUntracked(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, page int) []byte {
 	data := m.farm.ReadSpan(ctx, sp, l, page)
-	m.mu.Lock()
-	m.st.BytesRead += l.PageBytes(page)
+	m.st.bytesRead.Add(l.PageBytes(page))
 	m.mx.readBytes.Add(l.PageBytes(page))
-	m.mu.Unlock()
 	return data
 }
 
-// evictOverBudgetLocked drops least-recently-used resident pages until the
+// evictOverBudget drops least-recently-used resident pages until the global
 // budget is met, never evicting keep (the page just fetched: the requester
 // is entitled to it even if the budget is too small to hold a single page).
-func (m *Manager) evictOverBudgetLocked(keep *pageEntry) {
-	for m.used > m.opts.Budget {
-		elem := m.lru.Back()
-		if elem == nil {
+func (m *Manager) evictOverBudget(keep *pageEntry) {
+	for m.st.residentBytes.Load() > m.opts.Budget {
+		if !m.evictOldest(keep) {
 			return
 		}
+	}
+}
+
+// evictOldest drops the globally least-recently-used resident page other
+// than keep, comparing the per-shard LRU tails by touch stamp. It locks one
+// shard at a time (no nesting); under concurrent access the chosen tail may
+// have been touched between the scan and the eviction, which only costs LRU
+// exactness, never correctness. It reports whether a page was evicted.
+func (m *Manager) evictOldest(keep *pageEntry) bool {
+	var victim *shard
+	oldest := int64(math.MaxInt64)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for elem := sh.lru.Back(); elem != nil; elem = elem.Prev() {
+			e := elem.Value.(*pageEntry)
+			if e == keep {
+				continue // protected; the next older element is this shard's tail
+			}
+			if e.touch < oldest {
+				oldest = e.touch
+				victim = sh
+			}
+			break
+		}
+		sh.mu.Unlock()
+	}
+	if victim == nil {
+		return false
+	}
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	for elem := victim.lru.Back(); elem != nil; elem = elem.Prev() {
 		e := elem.Value.(*pageEntry)
 		if e == keep {
-			// Only the protected page remains.
-			return
+			continue
 		}
-		m.lru.Remove(elem)
-		delete(m.pages, e.key)
-		m.used -= e.size
-		m.st.Evictions++
+		victim.lru.Remove(elem)
+		delete(victim.pages, e.key)
+		m.st.residentBytes.Add(-e.size)
+		m.st.residentPages.Add(-1)
+		m.st.evictions.Add(1)
 		m.mx.evictions.Inc()
+		return true
 	}
+	return false
 }
 
 // StartFetch begins fetching the page in the background if it is neither
 // resident nor already in flight (query.Prefetcher). The fetch runs in its
-// own process; later ReadPage calls coalesce onto it. With dedup disabled
-// (ablation A2) prefetching is also disabled, as there is nothing for the
-// foreground read to coalesce onto.
+// own process; later ReadPage calls coalesce onto it. Background fetches are
+// capped at Options.PrefetchLimit — hints beyond the cap are dropped, since
+// a prefetch is only a hint and must not starve foreground reads at the
+// disks. With dedup disabled (ablation A2) prefetching is also disabled, as
+// there is nothing for the foreground read to coalesce onto.
 func (m *Manager) StartFetch(ds string, page int) {
 	if m.opts.DisableDedup {
 		return
 	}
+	// Reserve a background-fetch slot before registering the page: a
+	// registered-but-dropped entry would strand coalesced waiters on a gate
+	// that never opens.
+	if limit := int64(m.opts.PrefetchLimit); limit > 0 {
+		if m.prefetching.Add(1) > limit {
+			m.prefetching.Add(-1)
+			m.st.prefetchDrops.Add(1)
+			m.mx.prefetchDrops.Inc()
+			return
+		}
+	}
 	l := m.table.Get(ds)
 	k := pageKey{ds, page}
-	m.mu.Lock()
-	if _, exists := m.pages[k]; exists {
-		m.mu.Unlock()
+	sh := m.shardFor(k)
+	sh.mu.Lock()
+	if _, exists := sh.pages[k]; exists {
+		sh.mu.Unlock()
+		m.releasePrefetchSlot()
 		return
 	}
 	e := &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("prefetch %s/%d", ds, page))}
-	m.pages[k] = e
-	m.st.Prefetches++
+	sh.pages[k] = e
+	m.st.prefetches.Add(1)
 	m.mx.prefetches.Inc()
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	m.rtm.Spawn(fmt.Sprintf("prefetch-%s-%d", ds, page), func(ctx rt.Ctx) {
 		m.fetchAndPublish(ctx, trace.SpanContext{}, l, e)
+		m.releasePrefetchSlot()
 	})
+}
+
+// releasePrefetchSlot returns a reserved background-fetch slot.
+func (m *Manager) releasePrefetchSlot() {
+	if m.opts.PrefetchLimit > 0 {
+		m.prefetching.Add(-1)
+	}
 }
 
 // Resident reports whether the page is currently cached (for tests).
 func (m *Manager) Resident(ds string, page int) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.pages[pageKey{ds, page}]
+	k := pageKey{ds, page}
+	sh := m.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.pages[k]
 	return e != nil && e.resident
 }

@@ -11,7 +11,9 @@ import (
 	"mqsched/internal/sim"
 )
 
-// rig builds a simulated PS over a 1-disk farm with flat 1ms service.
+// rig builds a simulated PS over a 1-disk farm with flat 1ms service. The
+// prefetch cap is lifted (the default of 2× spindles would throttle the
+// StartFetch tests on a 1-disk farm); TestPrefetchCap exercises the cap.
 func rig(budget int64, dedup bool) (*sim.Engine, *rt.SimRuntime, *Manager, *dataset.Layout, *disk.Farm) {
 	eng := sim.New()
 	r := rt.NewSim(eng, 8)
@@ -19,7 +21,7 @@ func rig(budget int64, dedup bool) (*sim.Engine, *rt.SimRuntime, *Manager, *data
 	farm := disk.NewFarm(r, disk.Config{
 		Disks: 1, Seek: time.Millisecond, SeqSeek: time.Millisecond, BandwidthBps: 1 << 50,
 	}, nil)
-	m := New(r, dataset.NewTable(l), farm, Options{Budget: budget, DisableDedup: !dedup})
+	m := New(r, dataset.NewTable(l), farm, Options{Budget: budget, DisableDedup: !dedup, PrefetchLimit: -1})
 	return eng, r, m, l, farm
 }
 

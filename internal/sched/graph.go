@@ -75,13 +75,16 @@ type Node struct {
 	Done rt.Gate
 
 	// Payload is for the embedding server's use (e.g. the data store entry
-	// backing a CACHED node).
+	// backing a CACHED node). It must be assigned between Prepare and
+	// Enqueue: once the node is published, a worker may dequeue and read it
+	// at any moment.
 	Payload any
 
 	// WaitSpan, when active, measures the node's time in the waiting queue;
 	// the graph finishes it at Dequeue with the winning rank and the queue
 	// depth it was selected from. The submitter sets it (as a child of the
-	// query's root span); the zero value is inert.
+	// query's root span) between Prepare and Enqueue; the zero value is
+	// inert.
 	WaitSpan trace.SpanContext
 
 	state State
@@ -184,12 +187,26 @@ func (g *Graph) Policy() Policy { return g.policy }
 // Insert adds a new query in the WAITING state: it creates the node, adds
 // edges to and from every node with non-zero overlap, computes the new
 // node's rank and refreshes the ranks of its neighbours (paper §4, steps
-// (1)-(3) for a new query).
+// (1)-(3) for a new query). It is Prepare followed immediately by Enqueue;
+// callers that must attach per-node data (Payload, WaitSpan) before the node
+// can be dequeued use the two-phase form.
 func (g *Graph) Insert(m query.Meta) *Node {
+	n := g.Prepare(m)
+	g.Enqueue(n)
+	return n
+}
+
+// Prepare allocates a node for a new query without publishing it: the node
+// has its ID, arrival sequence, and completion gate, but is invisible to
+// Dequeue (and to edge discovery by other inserts) until Enqueue. The caller
+// may set Payload and WaitSpan on the returned node; once Enqueue publishes
+// it, any worker can dequeue it concurrently, so those fields must not be
+// written afterwards.
+func (g *Graph) Prepare(m query.Meta) *Node {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.nextID++
-	n := &Node{
+	return &Node{
 		ID:      g.nextID,
 		Meta:    m,
 		Seq:     g.nextID,
@@ -199,13 +216,26 @@ func (g *Graph) Insert(m query.Meta) *Node {
 		in:      map[*Node]float64{},
 		heapIdx: -1,
 	}
+}
+
+// Enqueue publishes a prepared node into the WAITING queue: it adds edges to
+// and from every node with non-zero overlap, pushes the node on the priority
+// heap, computes its rank and refreshes the ranks of its neighbours. After
+// Enqueue returns the node is owned by the graph and may already be
+// EXECUTING on another thread.
+func (g *Graph) Enqueue(n *Node) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.nodes[n.ID]; dup || n.heapIdx != -1 {
+		panic(fmt.Sprintf("sched: Enqueue of already-published node %d", n.ID))
+	}
 	g.nodes[n.ID] = n
 	g.st.Inserted++
 
 	// Neighbour discovery via the spatial index: overlap requires region
 	// intersection on the same dataset.
-	tree := g.treeFor(m.Dataset())
-	for _, c := range tree.Search(m.Region(), nil) {
+	tree := g.treeFor(n.Meta.Dataset())
+	for _, c := range tree.Search(n.Meta.Region(), nil) {
 		if w := g.app.Overlap(c.Meta, n.Meta) * float64(g.app.QOutSize(c.Meta)); w > 0 {
 			c.out[n] = w
 			n.in[c] = w
@@ -219,14 +249,13 @@ func (g *Graph) Insert(m query.Meta) *Node {
 			g.mx.edgePairs.Inc()
 		}
 	}
-	tree.Insert(m.Region(), n)
+	tree.Insert(n.Meta.Region(), n)
 
 	heap.Push(&g.waiting, n)
 	g.mx.toWaiting.Inc()
 	g.updateGaugesLocked()
 	g.refreshLocked(n)
 	g.refreshNeighboursLocked(n)
-	return n
 }
 
 // Dequeue removes and returns the WAITING node with the highest rank,
@@ -344,9 +373,15 @@ func (g *Graph) CancelWaiting(n *Node) bool {
 func (g *Graph) ExecutingProducers(n *Node) []*Node {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.producersLocked(n, nil)
+}
+
+// producersLocked collects the EXECUTING producers of n that pass the
+// optional eligibility filter, ordered by decreasing weight.
+func (g *Graph) producersLocked(n *Node, eligible func(*Node) bool) []*Node {
 	var out []*Node
 	for k := range n.in {
-		if k.state == Executing {
+		if k.state == Executing && (eligible == nil || eligible(k)) {
 			out = append(out, k)
 		}
 	}
@@ -363,6 +398,21 @@ func (g *Graph) ExecutingProducers(n *Node) []*Node {
 		}
 	}
 	return out
+}
+
+// BlockableProducers is ExecutingProducers restricted to producers a running
+// consumer may safely stall on: only those whose execution started earlier
+// (smaller ExecSeq), which keeps the wait-for graph acyclic (the server's
+// deadlock-avoidance rule). ExecSeq is written under the graph's lock at
+// Dequeue, so the eligibility test must run here rather than in the caller.
+// n must itself be EXECUTING.
+func (g *Graph) BlockableProducers(n *Node) []*Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n.state != Executing {
+		panic(fmt.Sprintf("sched: BlockableProducers of %v node %d", n.state, n.ID))
+	}
+	return g.producersLocked(n, func(k *Node) bool { return k.ExecSeq < n.ExecSeq })
 }
 
 // EdgeWeight returns w(src, dst) and whether the edge exists.

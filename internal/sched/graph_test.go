@@ -391,3 +391,76 @@ func BenchmarkInsertDequeue(b *testing.B) {
 		_ = n
 	}
 }
+
+func TestPrepareInvisibleUntilEnqueue(t *testing.T) {
+	g, _ := rig(FIFO{})
+	a := g.Insert(meta(geom.R(0, 0, 100, 100)))
+	n := g.Prepare(meta(geom.R(0, 0, 50, 50)))
+	if n.ID <= a.ID {
+		t.Fatalf("Prepare should allocate the next ID: %d <= %d", n.ID, a.ID)
+	}
+	// Prepared but unpublished: not in the graph, not dequeueable.
+	if g.Len() != 1 || g.WaitingCount() != 1 {
+		t.Fatalf("prepared node leaked into the graph: len=%d waiting=%d", g.Len(), g.WaitingCount())
+	}
+	if got := g.Dequeue(); got != a {
+		t.Fatalf("dequeued %v, want the published node", got)
+	}
+	if got := g.Dequeue(); got != nil {
+		t.Fatalf("dequeued unpublished node %d", got.ID)
+	}
+	n.Payload = "attached before publication"
+	g.Enqueue(n)
+	if got := g.Dequeue(); got != n {
+		t.Fatalf("dequeued %v, want the enqueued node", got)
+	}
+	// Edge discovery ran at Enqueue time: a (still EXECUTING) produces for n.
+	if got := g.ExecutingProducers(n); len(got) != 1 || got[0] != a {
+		t.Fatalf("producers = %v, want [%d]", ids(got), a.ID)
+	}
+}
+
+func TestEnqueueTwicePanics(t *testing.T) {
+	g, _ := rig(FIFO{})
+	n := g.Prepare(meta(geom.R(0, 0, 10, 10)))
+	g.Enqueue(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Enqueue should panic")
+		}
+	}()
+	g.Enqueue(n)
+}
+
+func TestBlockableProducers(t *testing.T) {
+	g, _ := rig(FIFO{})
+	p1 := g.Insert(meta(geom.R(0, 0, 100, 100)))
+	p2 := g.Insert(meta(geom.R(0, 0, 100, 30)))
+	probe := g.Insert(meta(geom.R(0, 0, 100, 100)))
+	if g.Dequeue() != p1 || g.Dequeue() != p2 || g.Dequeue() != probe {
+		t.Fatal("unexpected dequeue order")
+	}
+	// probe started last (largest ExecSeq): both producers are safe to block
+	// on. p2 may only block on p1; p1 on nobody. This is the acyclic
+	// wait-for rule the server relies on for deadlock avoidance.
+	if got := g.BlockableProducers(probe); len(got) != 2 || got[0] != p1 || got[1] != p2 {
+		t.Fatalf("blockable(probe) = %v", ids(got))
+	}
+	if got := g.BlockableProducers(p2); len(got) != 1 || got[0] != p1 {
+		t.Fatalf("blockable(p2) = %v", ids(got))
+	}
+	if got := g.BlockableProducers(p1); len(got) != 0 {
+		t.Fatalf("blockable(p1) = %v", ids(got))
+	}
+}
+
+func TestBlockableProducersRequiresExecuting(t *testing.T) {
+	g, _ := rig(FIFO{})
+	n := g.Insert(meta(geom.R(0, 0, 10, 10)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BlockableProducers on a WAITING node should panic")
+		}
+	}()
+	g.BlockableProducers(n)
+}

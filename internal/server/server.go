@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mqsched/internal/datastore"
 	"mqsched/internal/geom"
@@ -137,6 +138,33 @@ type Stats struct {
 	ComputedOutputBytes int64
 }
 
+// srvStats are the live counters behind Stats. They are plain atomics
+// (mirroring internal/metrics) so the execute/finish hot paths never take a
+// server-wide lock: with many query threads on a multi-core machine a single
+// counter mutex serializes every projection and completion.
+type srvStats struct {
+	submitted, completed       atomic.Int64
+	fullHits, projections      atomic.Int64
+	blocks, canceled           atomic.Int64
+	rawBytes                   atomic.Int64
+	reusedBytes, computedBytes atomic.Int64
+}
+
+// snapshot assembles the exported Stats view.
+func (s *srvStats) snapshot() Stats {
+	return Stats{
+		Submitted:           s.submitted.Load(),
+		Completed:           s.completed.Load(),
+		FullHits:            s.fullHits.Load(),
+		Projections:         s.projections.Load(),
+		Blocks:              s.blocks.Load(),
+		Canceled:            s.canceled.Load(),
+		RawBytes:            s.rawBytes.Load(),
+		ReusedOutputBytes:   s.reusedBytes.Load(),
+		ComputedOutputBytes: s.computedBytes.Load(),
+	}
+}
+
 // Server is the query server engine.
 type Server struct {
 	rtm   rt.Runtime
@@ -147,11 +175,13 @@ type Server struct {
 	opts  Options
 
 	mx srvMetrics
+	st srvStats
 
+	// mu guards only the worker wait-queue handshake (closed + cond); the
+	// stats counters are atomic and the scheduling graph has its own lock.
 	mu     sync.Mutex
 	cond   rt.Cond
 	closed bool
-	st     Stats
 
 	emu       sync.Mutex
 	entryNode map[*datastore.Entry]*sched.Node
@@ -216,11 +246,14 @@ func (s *Server) Submit(m query.Meta) (*Ticket, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	s.st.Submitted++
-	s.mx.submitted.Inc()
 	s.mu.Unlock()
+	s.st.submitted.Add(1)
+	s.mx.submitted.Inc()
 
-	n := s.graph.Insert(m)
+	// Two-phase insertion: the node must be fully constructed (Payload,
+	// WaitSpan) before Enqueue publishes it, because a worker may dequeue it
+	// the instant it enters the waiting heap.
+	n := s.graph.Prepare(m)
 	res := &query.Result{Meta: m, Arrival: s.rtm.Now()}
 	t := &task{res: res}
 	t.span = s.opts.Spans.StartRoot(n.ID, "server", "query",
@@ -229,6 +262,7 @@ func (s *Server) Submit(m query.Meta) (*Ticket, error) {
 	// dequeued (or by Cancel); it measures time spent in the priority queue.
 	n.WaitSpan = t.span.Child("sched", "wait")
 	n.Payload = t
+	s.graph.Enqueue(n)
 	s.opts.Tracer.RecordAt(res.Arrival, n.ID, trace.Submitted, m.String())
 
 	s.mu.Lock()
@@ -253,10 +287,8 @@ func (s *Server) Cancel(t *Ticket) bool {
 	t.node.WaitSpan.Finish(trace.Str("outcome", "canceled"))
 	t.node.Payload.(*task).span.Finish(trace.Str("outcome", "canceled"))
 	s.opts.Tracer.RecordAt(now, t.node.ID, trace.Completed, "canceled")
-	s.mu.Lock()
-	s.st.Canceled++
+	s.st.canceled.Add(1)
 	s.mx.canceled.Inc()
-	s.mu.Unlock()
 	t.node.Done.Open()
 	return true
 }
@@ -271,11 +303,7 @@ func (s *Server) Close() {
 }
 
 // Stats returns a snapshot of the counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.st
-}
+func (s *Server) Stats() Stats { return s.st.snapshot() }
 
 // worker is one query thread.
 func (s *Server) worker(ctx rt.Ctx) {
@@ -386,10 +414,8 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContex
 					remaining.Subtract(covered)
 					gained += newArea
 					projections++
-					s.mu.Lock()
-					s.st.Projections++
+					s.st.projections.Add(1)
 					s.mx.projections.Inc()
-					s.mu.Unlock()
 				}
 			}
 		}
@@ -405,12 +431,11 @@ func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext
 	if !s.opts.BlockOnExecuting || s.ds == nil {
 		return false
 	}
-	for _, p := range s.graph.ExecutingProducers(n) {
+	// BlockableProducers applies the deadlock-avoidance rule (only block on
+	// queries whose execution started earlier) under the graph's lock, where
+	// ExecSeq is written.
+	for _, p := range s.graph.BlockableProducers(n) {
 		if waited[p] {
-			continue
-		}
-		// Deadlock avoidance: only block on queries that started earlier.
-		if p.ExecSeq >= n.ExecSeq {
 			continue
 		}
 		if s.app.Overlap(p.Meta, n.Meta) < s.opts.MinBlockOverlap {
@@ -421,10 +446,8 @@ func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext
 		}
 		waited[p] = true
 		res.WaitedOnExecuting++
-		s.mu.Lock()
-		s.st.Blocks++
+		s.st.blocks.Add(1)
 		s.mx.blocks.Inc()
-		s.mu.Unlock()
 		s.opts.Tracer.RecordAt(s.rtm.Now(), n.ID, trace.Blocked, fmt.Sprintf("on q%d", p.ID))
 		block := sp.Child("server", "block", trace.I64("producer", p.ID))
 		p.Done.Wait(ctx)
@@ -470,24 +493,28 @@ func (s *Server) finish(n *sched.Node, t *task, out *query.Blob, res *query.Resu
 		trace.Bool("cached", cached))
 	s.graph.Observe(res.ResponseTime()) // feedback for self-tuning policies
 
-	s.mu.Lock()
-	s.st.Completed++
+	s.st.completed.Add(1)
 	s.mx.completed.Inc()
 	if reusedArea == gridArea && res.WaitedOnExecuting == 0 && res.InputBytesRead == 0 {
-		s.st.FullHits++
+		s.st.fullHits.Add(1)
 		s.mx.fullHits.Inc()
 	}
-	s.st.RawBytes += res.InputBytesRead
+	s.st.rawBytes.Add(res.InputBytesRead)
 	s.mx.rawBytes.Add(res.InputBytesRead)
-	perPixel := int64(1)
+	// Split out.Size proportionally by reused area. Integer bytes-per-pixel
+	// would silently drop the fractional remainder (reused + computed would
+	// undercount out.Size); splitting the quotient and remainder separately
+	// keeps the arithmetic exact and overflow-safe, and computed is derived
+	// by subtraction so the two always sum to out.Size.
+	var reusedBytes int64
 	if gridArea > 0 {
-		perPixel = out.Size / gridArea
+		reusedBytes = out.Size/gridArea*reusedArea + out.Size%gridArea*reusedArea/gridArea
 	}
-	s.st.ReusedOutputBytes += reusedArea * perPixel
-	s.st.ComputedOutputBytes += (gridArea - reusedArea) * perPixel
-	s.mx.reusedBytes.Add(reusedArea * perPixel)
-	s.mx.computedBytes.Add((gridArea - reusedArea) * perPixel)
-	s.mu.Unlock()
+	computedBytes := out.Size - reusedBytes
+	s.st.reusedBytes.Add(reusedBytes)
+	s.st.computedBytes.Add(computedBytes)
+	s.mx.reusedBytes.Add(reusedBytes)
+	s.mx.computedBytes.Add(computedBytes)
 	s.mx.response.Observe(res.ResponseTime().Seconds())
 	s.mx.wait.Observe(res.WaitTime().Seconds())
 
