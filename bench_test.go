@@ -37,8 +37,9 @@ import (
 )
 
 var (
-	paperScale = flag.Bool("paperscale", false, "run benchmarks at the paper's full 256-query scale")
-	scalingOut = flag.String("scalingout", "", "write BenchmarkScaling results as JSON to this path")
+	paperScale    = flag.Bool("paperscale", false, "run benchmarks at the paper's full 256-query scale")
+	scalingOut    = flag.String("scalingout", "", "write BenchmarkScaling results as JSON to this path")
+	largeQueryOut = flag.String("largequeryout", "", "write BenchmarkLargeQueryParallel results as JSON to this path")
 )
 
 // benchBase returns the benchmark workload scale.
@@ -365,6 +366,119 @@ func BenchmarkScaling(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile(*scalingOut, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// largeQuerySecs runs n copies of one large VM query (4096x4096 at zoom 4,
+// ~50 MB of pixels per query) through the full stack on the real runtime and
+// returns the average seconds per query. Budgets are set so each query pays
+// its own work: the datastore budget is 1 byte (no result reuse) and the
+// page space budget is below the 784-page working set (no page reuse), so
+// every query fetches all its chunks from the modelled 16-disk farm and runs
+// the kernels over them. Prefetch stays at the default 0 — the paper's
+// synchronous reads — so the serial arm reads one chunk at a time. ComputeRaw
+// fans that per-query work across `workers` goroutines: concurrent chunk
+// reads overlap modelled disk time across the farm (speedup can therefore
+// exceed the worker count — each extra worker also keeps more disks busy),
+// and on multi-core hosts the kernel compute parallelizes too.
+func largeQuerySecs(b *testing.B, op vm.Op, workers, n int) float64 {
+	b.Helper()
+	rtm := rt.NewReal(rt.RealOptions{TimeScale: 0.05})
+	l := vm.NewSlide("s1", 4096, 4096)
+	table := dataset.NewTable(l)
+	app := vm.New(table)
+	farm := disk.NewFarm(rtm, disk.Config{Disks: 16, ThrashPerStream: -1}, vm.GeneratePage)
+	ps := pagespace.New(rtm, table, farm, pagespace.Options{Budget: 16 << 20})
+	ds := datastore.New(app, datastore.Options{Budget: 1})
+	graph := sched.New(rtm, app, sched.FIFO{})
+	srv := server.New(rtm, app, graph, ds, ps, server.Options{Threads: 1, ComputeParallelism: workers})
+
+	m := vm.NewMeta("s1", geom.R(0, 0, 4096, 4096), 4, op)
+	done := make(chan error, 1)
+	var elapsed time.Duration
+	rtm.Spawn("client", func(ctx rt.Ctx) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			tk, err := srv.Submit(m)
+			if err != nil {
+				done <- err
+				return
+			}
+			if res := tk.Wait(ctx); res.Blob == nil {
+				done <- fmt.Errorf("nil blob")
+				return
+			}
+		}
+		elapsed = time.Since(start)
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	srv.Close()
+	rtm.Wait()
+	return elapsed.Seconds() / float64(n)
+}
+
+// BenchmarkLargeQueryParallel measures intra-query parallelism: one large
+// query at a time on a single server thread and a single client, with the
+// per-query fan-out width swept over 1/2/4 workers, so any speedup comes
+// only from ComputeRaw splitting one query's chunk list (subsample) or
+// output bands (average) across goroutines. With -largequeryout=PATH the
+// best seconds per query and the speedup over the serial run are written as
+// JSON.
+func BenchmarkLargeQueryParallel(b *testing.B) {
+	type key struct {
+		op vm.Op
+		w  int
+	}
+	best := map[key]float64{}
+	for _, op := range ops {
+		for _, w := range []int{1, 2, 4} {
+			k := key{op, w}
+			b.Run(fmt.Sprintf("%s/W=%d", opName(op), w), func(b *testing.B) {
+				b.SetBytes(4096 * 4096 * 3) // input pixels per query
+				sec := largeQuerySecs(b, op, w, b.N)
+				if cur, ok := best[k]; !ok || sec < cur {
+					best[k] = sec
+				}
+				b.ReportMetric(sec, "sec/query")
+			})
+		}
+	}
+	if *largeQueryOut == "" {
+		return
+	}
+	type point struct {
+		Op       string  `json:"op"`
+		Workers  int     `json:"workers"`
+		SecQuery float64 `json:"sec_per_query"`
+		Speedup  float64 `json:"speedup"`
+	}
+	var pts []point
+	for k, sec := range best {
+		sp := 0.0
+		if sec > 0 {
+			sp = best[key{k.op, 1}] / sec
+		}
+		pts = append(pts, point{Op: opName(k.op), Workers: k.w, SecQuery: sec, Speedup: sp})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Op != pts[j].Op {
+			return pts[i].Op < pts[j].Op
+		}
+		return pts[i].Workers < pts[j].Workers
+	})
+	out := struct {
+		Benchmark string  `json:"benchmark"`
+		Points    []point `json:"points"`
+	}{Benchmark: "BenchmarkLargeQueryParallel", Points: pts}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*largeQueryOut, append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -41,6 +41,7 @@ func main() {
 		dumpWl   = flag.String("dumpworkload", "", "write the generated workload (both ops) as JSON to this path and exit")
 		loadWl   = flag.String("workload", "", "replay a saved workload (JSON) through a single run instead of an experiment sweep")
 		policy   = flag.String("policy", "cnbf", "ranking strategy for -workload and -trace-out single runs")
+		computeW = flag.Int("compute-workers", 0, "intra-query compute worker bound, wired through to saved configs (0 = GOMAXPROCS on the real runtime; the simulated runtime is always serial)")
 		traceOut = flag.String("trace-out", "", "run one traced configuration and write its span trees as Chrome trace_event JSON to this path (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
@@ -50,13 +51,14 @@ func main() {
 		fatal(err)
 	}
 	base := experiment.Config{
-		Clients:          *clients,
-		QueriesPerClient: *queries,
-		Threads:          *threads,
-		CPUs:             *cpus,
-		Disks:            *disks,
-		Seed:             *seed,
-		PSPrefetchLimit:  *psPre,
+		Clients:            *clients,
+		QueriesPerClient:   *queries,
+		Threads:            *threads,
+		CPUs:               *cpus,
+		Disks:              *disks,
+		Seed:               *seed,
+		PSPrefetchLimit:    *psPre,
+		ComputeParallelism: *computeW,
 	}
 
 	if *dumpWl != "" {
@@ -227,6 +229,16 @@ func replayWorkload(path string, base experiment.Config, policy string, op vm.Op
 	}
 	fmt.Printf("%s %d queries under %s: trimmed response %.3fs, mean wait %.3fs, overlap %.3f, makespan %.1fs\n",
 		verb, m.Queries, m.Policy, m.TrimmedResponse, m.MeanWait, m.AvgOverlap, m.Makespan)
+	// Output-side throughput makes kernel-level wins visible in workload
+	// runs, not just microbenchmarks: reused bytes came from projecting
+	// cached results, computed bytes from the raw-chunk kernels.
+	if m.Makespan > 0 {
+		const mb = 1 << 20
+		fmt.Printf("throughput: %.2f queries/s, output %.1f MB/s reused + %.1f MB/s computed\n",
+			float64(m.Queries)/m.Makespan,
+			float64(m.Server.ReusedOutputBytes)/mb/m.Makespan,
+			float64(m.Server.ComputedOutputBytes)/mb/m.Makespan)
+	}
 	fmt.Println("\nspan-derived percentiles (seconds, simulated time):")
 	fmt.Print(trace.FormatStrategyStats(m.Spans.StrategyStats()))
 	if traceOut != "" {

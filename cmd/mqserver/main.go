@@ -48,6 +48,7 @@ func main() {
 		traceCap   = flag.Int("trace-buffer", 16384, "span ring-buffer capacity (0 disables span tracing)")
 		slowlog    = flag.Duration("slowlog", 0, "log the span tree of queries slower than this (runtime clock; 0 disables the fixed threshold)")
 		slowlogPct = flag.Float64("slowlog-pct", 0, "log queries slower than this trailing percentile of recent responses, e.g. 99 (0 disables)")
+		computeW   = flag.Int("compute-workers", 0, "intra-query compute worker bound (0 = GOMAXPROCS, 1 = serial per-query loop)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 		TraceCapacity:       *traceCap,
 		SlowQueryThreshold:  *slowlog,
 		SlowQueryPercentile: *slowlogPct,
+		ComputeParallelism:  *computeW,
 	}, mqsched.NewSlideTable(specs...))
 	if err != nil {
 		log.Fatal(err)

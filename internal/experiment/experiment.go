@@ -74,6 +74,11 @@ type Config struct {
 	// PrefetchDepth enables chunk read-ahead in the VM application
 	// (ablation A4; 0 = the paper's synchronous reads).
 	PrefetchDepth int
+	// ComputeParallelism bounds intra-query compute fan-out on the real
+	// runtime (server.Options.ComputeParallelism). Experiments run on the
+	// simulated runtime, which always executes serially; the knob is wired
+	// through so saved configs replayed on the real server behave the same.
+	ComputeParallelism int
 	// PSPrefetchLimit caps concurrent background page fetches in the page
 	// space (0 = the manager's default of 2x the spindle count, negative =
 	// unlimited). Hints beyond the cap are dropped, never queued.
@@ -236,10 +241,11 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 	graph := sched.New(rtm, app, policy)
 	graph.UseMetrics(cfg.Metrics)
 	srv := server.New(rtm, app, graph, ds, ps, server.Options{
-		Threads:          cfg.Threads,
-		BlockOnExecuting: cfg.BlockOnExecuting,
-		Spans:            spans,
-		Metrics:          cfg.Metrics,
+		Threads:            cfg.Threads,
+		BlockOnExecuting:   cfg.BlockOnExecuting,
+		ComputeParallelism: cfg.ComputeParallelism,
+		Spans:              spans,
+		Metrics:            cfg.Metrics,
 	})
 
 	var mon *monitor.Monitor

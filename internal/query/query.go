@@ -7,6 +7,7 @@
 package query
 
 import (
+	"runtime"
 	"time"
 
 	"mqsched/internal/geom"
@@ -53,6 +54,25 @@ type Prefetcher interface {
 	StartFetch(dataset string, page int)
 }
 
+// ParallelComputer is optionally implemented by an App whose ComputeRaw can
+// fan one query's chunk list across a bounded worker group on the real
+// runtime (intra-query parallelism). n bounds the workers per ComputeRaw
+// call: 1 keeps the serial per-query loop, 0 selects a GOMAXPROCS-derived
+// default (see ResolveParallelism). The setting must only be changed before
+// the server starts executing queries.
+type ParallelComputer interface {
+	SetComputeParallelism(n int)
+}
+
+// ResolveParallelism maps a ComputeParallelism knob value to a concrete
+// worker bound: values > 0 pass through, anything else selects GOMAXPROCS.
+func ResolveParallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // App is the set of user-defined operations an application registers with
 // the runtime system. The type parameter-free design mirrors the paper: a
 // C++ class with virtual methods cmp, overlap, project plus size estimators.
@@ -88,7 +108,9 @@ type App interface {
 	// Coverable returns the region of dst's output grid that Project(src,
 	// dst) would cover, without performing the transformation. The server
 	// uses it to skip projections that add nothing to the uncovered
-	// remainder of a query.
+	// remainder of a query, and — because a non-empty Project covers
+	// exactly this rect — to decide which candidate projections write
+	// disjoint output and may therefore run concurrently.
 	Coverable(src, dst Meta) geom.Rect
 
 	// Project implements Equation (3): it transforms the part of src's data

@@ -49,6 +49,15 @@ type Options struct {
 	// MinBlockOverlap is the minimum overlap index with an EXECUTING
 	// producer that justifies stalling on it. Default 0.1.
 	MinBlockOverlap float64
+	// ComputeParallelism bounds the worker goroutines one query may fan its
+	// raw-chunk computation across on the real runtime (intra-query
+	// parallelism): 1 keeps the paper's serial per-query loop, 0 selects a
+	// GOMAXPROCS-derived default, n > 1 caps the fan-out at n. The bound is
+	// handed to the application via query.ParallelComputer (apps that don't
+	// implement it stay serial) and also gates concurrent projection of
+	// disjoint data-store candidates. The simulated runtime always executes
+	// serially regardless.
+	ComputeParallelism int
 	// Tracer, when non-nil, records query lifecycle events.
 	Tracer *trace.Recorder
 	// Spans, when non-nil, records the per-query span tree (server exec
@@ -69,6 +78,7 @@ type srvMetrics struct {
 	rawBytes                       *metrics.Counter
 	reusedBytes, computedBytes     *metrics.Counter
 	response, wait                 *metrics.Histogram
+	computeWorkers                 *metrics.Gauge
 }
 
 func newSrvMetrics(reg *metrics.Registry, strategy string) srvMetrics {
@@ -101,6 +111,8 @@ func newSrvMetrics(reg *metrics.Registry, strategy string) srvMetrics {
 		wait: reg.Histogram("mqsched_server_wait_seconds",
 			"Time spent queued before execution began.",
 			metrics.DefaultLatencyBuckets, l),
+		computeWorkers: reg.Gauge("mqsched_server_compute_workers",
+			"Resolved per-query compute worker bound (intra-query parallelism).", l),
 	}
 }
 
@@ -225,6 +237,12 @@ func New(rtm rt.Runtime, app query.App, graph *sched.Graph, ds *datastore.Manage
 		entryNode: map[*datastore.Entry]*sched.Node{},
 	}
 	s.mx = newSrvMetrics(s.opts.Metrics, graph.Policy().Name())
+	// Hand the intra-query parallelism bound to the application before any
+	// query thread starts (the setting must not change once queries execute).
+	if pc, ok := app.(query.ParallelComputer); ok {
+		pc.SetComputeParallelism(s.opts.ComputeParallelism)
+	}
+	s.mx.computeWorkers.Set(int64(query.ResolveParallelism(s.opts.ComputeParallelism)))
 	s.cond = rtm.NewCond(&s.mu, "server work queue")
 	if ds != nil {
 		ds.OnEvict = s.onEvict
@@ -392,7 +410,10 @@ func (r spanReader) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 func (r spanReader) StartFetch(ds string, page int) { r.ps.StartFetch(ds, page) }
 
 // projectFromStore projects data-store candidates into out, returning the
-// output area newly covered.
+// output area newly covered. On the real runtime, when ComputeParallelism
+// allows more than one worker, batches of candidates whose covered regions
+// are mutually disjoint are projected concurrently (see projectCandidates);
+// otherwise each candidate is projected in turn.
 func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext, out *query.Blob, remaining *geom.Region) int64 {
 	if s.ds == nil {
 		return 0
@@ -404,25 +425,107 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContex
 	if len(cands) > 0 {
 		project = sp.Child("server", "project", trace.I64("candidates", int64(len(cands))))
 	}
-	for _, c := range cands {
-		if !remaining.Empty() {
-			coverable := s.app.Coverable(c.Entry.Blob.Meta, n.Meta)
-			if remaining.IntersectArea(coverable) > 0 {
-				covered := s.app.Project(ctx, c.Entry.Blob, n.Meta, out)
-				if !covered.Empty() {
-					newArea := remaining.IntersectArea(covered)
-					remaining.Subtract(covered)
-					gained += newArea
-					projections++
-					s.st.projections.Add(1)
-					s.mx.projections.Inc()
+	workers := query.ResolveParallelism(s.opts.ComputeParallelism)
+	if workers > 1 && !ctx.Synthetic() && len(cands) > 1 {
+		gained, projections = s.projectCandidates(ctx, n, out, remaining, cands, workers)
+	} else {
+		for _, c := range cands {
+			if !remaining.Empty() {
+				coverable := s.app.Coverable(c.Entry.Blob.Meta, n.Meta)
+				if remaining.IntersectArea(coverable) > 0 {
+					covered := s.app.Project(ctx, c.Entry.Blob, n.Meta, out)
+					if !covered.Empty() {
+						newArea := remaining.IntersectArea(covered)
+						remaining.Subtract(covered)
+						gained += newArea
+						projections++
+						s.st.projections.Add(1)
+						s.mx.projections.Inc()
+					}
 				}
 			}
+			c.Entry.Unpin()
 		}
-		c.Entry.Unpin()
 	}
 	project.Finish(trace.I64("projections", projections), trace.I64("area_gained", gained))
 	return gained
+}
+
+// projectCandidates replays the serial candidate walk of projectFromStore
+// with the pixel work fanned out. The select/skip decisions depend only on
+// region algebra — Project's covered rect equals Coverable's, so the
+// remaining region can be updated eagerly without touching pixels — which
+// makes them identical to the serial walk. Selected candidates accumulate
+// into a batch as long as their covered rects are mutually disjoint; when
+// the next candidate overlaps the batch (a later projection would overwrite
+// earlier pixels, and order matters to the bytes), the batch is flushed
+// first. Within a batch, projections write disjoint output regions and can
+// run concurrently; across batches, serial order is preserved — so the
+// final bytes are identical to the serial walk.
+func (s *Server) projectCandidates(ctx rt.Ctx, n *sched.Node, out *query.Blob, remaining *geom.Region, cands []datastore.Candidate, workers int) (gained, projections int64) {
+	type job struct {
+		entry   *datastore.Entry
+		covered geom.Rect
+	}
+	var batch []job
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if len(batch) == 1 {
+			s.app.Project(ctx, batch[0].entry.Blob, n.Meta, out)
+			batch[0].entry.Unpin()
+			batch = batch[:0]
+			return
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		nw := workers
+		if nw > len(batch) {
+			nw = len(batch)
+		}
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batch) {
+						return
+					}
+					s.app.Project(ctx, batch[i].entry.Blob, n.Meta, out)
+					batch[i].entry.Unpin()
+				}
+			}()
+		}
+		wg.Wait()
+		batch = batch[:0]
+	}
+	for _, c := range cands {
+		if remaining.Empty() {
+			c.Entry.Unpin()
+			continue
+		}
+		coverable := s.app.Coverable(c.Entry.Blob.Meta, n.Meta)
+		if remaining.IntersectArea(coverable) == 0 {
+			c.Entry.Unpin()
+			continue
+		}
+		for _, j := range batch {
+			if !j.covered.Intersect(coverable).Empty() {
+				flush()
+				break
+			}
+		}
+		gained += remaining.IntersectArea(coverable)
+		remaining.Subtract(coverable)
+		projections++
+		s.st.projections.Add(1)
+		s.mx.projections.Inc()
+		batch = append(batch, job{entry: c.Entry, covered: coverable})
+	}
+	flush()
+	return gained, projections
 }
 
 // blockOnProducer stalls on the best eligible EXECUTING producer. It returns

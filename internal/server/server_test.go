@@ -10,6 +10,7 @@ import (
 	"mqsched/internal/datastore"
 	"mqsched/internal/disk"
 	"mqsched/internal/geom"
+	"mqsched/internal/metrics"
 	"mqsched/internal/pagespace"
 	"mqsched/internal/query"
 	"mqsched/internal/rt"
@@ -392,4 +393,89 @@ func TestRealRuntimeCorrectness(t *testing.T) {
 	}
 	srv.Close()
 	rtm.Wait()
+}
+
+// Concurrent projection of disjoint data-store candidates must produce the
+// same bytes and counters as the serial candidate walk, and the
+// compute-workers gauge must report the resolved bound.
+func TestParallelProjectionMatchesSerial(t *testing.T) {
+	run := func(parallelism int) ([]byte, Stats, int64) {
+		rtm := rt.NewReal(rt.RealOptions{TimeScale: 0.0001})
+		l := dataset.New("d", 600, 600, 1, 97)
+		table := dataset.NewTable(l)
+		app := testapp.New(table)
+		farm := disk.NewFarm(rtm, disk.Config{Disks: 2}, testapp.Generate)
+		ps := pagespace.New(rtm, table, farm, pagespace.Options{Budget: 1 << 20})
+		ds := datastore.New(app, datastore.Options{Budget: 8 << 20})
+		graph := sched.New(rtm, app, sched.FIFO{})
+		reg := metrics.NewRegistry()
+		srv := New(rtm, app, graph, ds, ps, Options{
+			Threads:            2,
+			BlockOnExecuting:   true,
+			ComputeParallelism: parallelism,
+			Metrics:            reg,
+		})
+
+		var data []byte
+		done := make(chan struct{})
+		rtm.Spawn("client", func(ctx rt.Ctx) {
+			defer close(done)
+			// Seed the store with a grid of disjoint tiles...
+			var tks []*Ticket
+			for ty := int64(0); ty < 4; ty++ {
+				for tx := int64(0); tx < 4; tx++ {
+					tk, err := srv.Submit(m(geom.R(tx*100, ty*100, tx*100+100, ty*100+100)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					tks = append(tks, tk)
+				}
+			}
+			for _, tk := range tks {
+				tk.Wait(ctx)
+			}
+			// ...then one query covered by many cached candidates at once.
+			tk, err := srv.Submit(m(geom.R(50, 50, 350, 350)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res := tk.Wait(ctx)
+			data = append([]byte(nil), res.Blob.Data...)
+		})
+		<-done
+		srv.Close()
+		rtm.Wait()
+		gauge := reg.Gauge("mqsched_server_compute_workers", "", metrics.L("strategy", sched.FIFO{}.Name())).Value()
+		return data, srv.Stats(), gauge
+	}
+
+	serialData, serialStats, serialGauge := run(1)
+	parData, parStats, parGauge := run(4)
+	if serialGauge != 1 || parGauge != 4 {
+		t.Fatalf("compute-workers gauge: serial=%d parallel=%d", serialGauge, parGauge)
+	}
+	if len(serialData) == 0 || !bytes.Equal(serialData, parData) {
+		t.Fatal("parallel projection produced different bytes than serial")
+	}
+	if serialStats.Projections != parStats.Projections ||
+		serialStats.ReusedOutputBytes != parStats.ReusedOutputBytes {
+		t.Fatalf("stats diverge: serial %+v vs parallel %+v", serialStats, parStats)
+	}
+	// The big query must actually have been answered by projection.
+	if parStats.Projections == 0 {
+		t.Fatal("no projections happened; test is vacuous")
+	}
+	want := make([]byte, 300*300)
+	i := 0
+	for y := int64(50); y < 350; y++ {
+		for x := int64(50); x < 350; x++ {
+			want[i] = testapp.Pixel("d", x, y)
+			i++
+		}
+	}
+	if !bytes.Equal(parData, want) {
+		t.Fatal("projected query returned wrong pixels")
+	}
 }

@@ -1,0 +1,130 @@
+package vm
+
+import (
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"mqsched/internal/dataset"
+	"mqsched/internal/geom"
+)
+
+var kernelOut = flag.String("kernelout", "", "write BenchmarkKernels opt-vs-ref results as JSON to this path")
+
+// kernelEntry is one optimized-vs-reference measurement; the committed
+// BENCH_kernels.json aggregates these across vm, vol, and the large-query
+// benchmark.
+type kernelEntry struct {
+	Kernel  string  `json:"kernel"`
+	RefMBs  float64 `json:"ref_mb_per_s"`
+	OptMBs  float64 `json:"opt_mb_per_s"`
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchmarkKernels measures the row-vectorized pixel kernels against the
+// retained scalar references on identical inputs — pure kernel time, no page
+// generation or I/O. Input-region bytes per call set the MB/s unit. With
+// -kernelout=PATH the table is written as JSON.
+func BenchmarkKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var entries []*kernelEntry
+	bench := func(name string, bytesPerOp int64, ref, opt func()) {
+		e := &kernelEntry{Kernel: "vm/" + name}
+		entries = append(entries, e)
+		measure := func(fn func(), out *float64) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.SetBytes(bytesPerOp)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fn()
+				}
+				if s := b.Elapsed().Seconds(); s > 0 {
+					*out = float64(bytesPerOp) * float64(b.N) / (1 << 20) / s
+				}
+			}
+		}
+		b.Run(name+"/ref", measure(ref, &e.RefMBs))
+		b.Run(name+"/opt", measure(opt, &e.OptMBs))
+	}
+
+	// The page-facing kernels (subsample, average) run on a real 147x147
+	// page — the ~64 KB chunk size ComputeRaw actually feeds them — with
+	// a zoom-aligned query window slightly larger than the page, so the
+	// rightmost/bottom cells are partial just as on dataset boundaries.
+	app, _ := newApp(4096, 4096)
+	pageRect := geom.R(0, 0, dataset.VMPageSide, dataset.VMPageSide)
+	page := randBytes(rng, pageRect.Area()*BytesPerPixel)
+	inBytes := pageRect.Area() * BytesPerPixel
+
+	// Subsample at zoom 1: the contiguous-row memmove fast path.
+	{
+		m := Meta{DS: "s1", Rect: geom.R(0, 0, dataset.VMPageSide, dataset.VMPageSide), Zoom: 1, Op: Subsample}
+		dst := make([]byte, m.OutRect().Area()*BytesPerPixel)
+		piece := m.OutRect()
+		bench("subsample/zoom1", inBytes,
+			func() { subsamplePixelsRef(page, pageRect, dst, m, piece) },
+			func() { subsamplePixels(page, pageRect, dst, m, piece) })
+	}
+
+	// Subsample at zoom 4: strided row walk vs per-pixel offsets.
+	{
+		m := Meta{DS: "s1", Rect: geom.R(0, 0, 148, 148), Zoom: 4, Op: Subsample}
+		dst := make([]byte, m.OutRect().Area()*BytesPerPixel)
+		piece := sampleGrid(pageRect, 4)
+		bench("subsample/zoom4", inBytes,
+			func() { subsamplePixelsRef(page, pageRect, dst, m, piece) },
+			func() { subsamplePixels(page, pageRect, dst, m, piece) })
+	}
+
+	// Average accumulation + finish at zoom 4: cell-band walk vs
+	// per-pixel FloorDiv/ContainsPoint.
+	{
+		m := Meta{DS: "s1", Rect: geom.R(0, 0, 148, 148), Zoom: 4, Op: Average}
+		grid := m.OutRect()
+		dst := make([]byte, grid.Area()*BytesPerPixel)
+		refAcc := newAvgAccumRef(grid, m.Zoom)
+		optAcc := newAvgAccumRef(grid, m.Zoom) // unpooled: measure the kernels, not the pool
+		bench("average/zoom4", inBytes,
+			func() { refAcc.addRef(page, pageRect, pageRect); refAcc.finishRef(dst, m) },
+			func() { optAcc.add(page, pageRect, pageRect); optAcc.finish(dst, m) })
+	}
+
+	// Projection of a cached 256x256 result onto a 4x coarser query —
+	// cached results are whole query outputs, so they are much larger
+	// than one page.
+	for _, op := range []Op{Subsample, Average} {
+		win := geom.R(0, 0, 256, 256)
+		s := Meta{DS: "s1", Rect: win, Zoom: 1, Op: op}
+		d := Meta{DS: "s1", Rect: win, Zoom: 4, Op: op}
+		srcData := randBytes(rng, s.OutRect().Area()*BytesPerPixel)
+		dst := make([]byte, d.OutRect().Area()*BytesPerPixel)
+		covered := d.OutRect()
+		bench("project/"+op.String()+"/k4", win.Area()*BytesPerPixel,
+			func() { projectPixelsRef(srcData, s, dst, d, covered, 4) },
+			func() { app.projectPixels(srcData, s, dst, d, covered, 4) })
+	}
+
+	for _, e := range entries {
+		if e.RefMBs > 0 {
+			e.Speedup = e.OptMBs / e.RefMBs
+		}
+	}
+	if *kernelOut == "" {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Kernel < entries[j].Kernel })
+	out := struct {
+		Benchmark string         `json:"benchmark"`
+		Kernels   []*kernelEntry `json:"kernels"`
+	}{Benchmark: "BenchmarkKernels", Kernels: entries}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*kernelOut, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

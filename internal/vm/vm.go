@@ -19,10 +19,26 @@
 // region, O_A the query region's area, I_S the zoom of the cached result and
 // O_S the query's zoom; O_S must be a multiple of I_S (and the processing
 // function must match), otherwise the overlap is 0.
+//
+// The pixel kernels (subsample, average accumulation, projection) are
+// row-vectorized: offsets advance by fixed strides along each row instead of
+// being recomputed per pixel, zoom-1 rows degenerate to single memmoves, and
+// the averaging path resolves output cells once per run of Zoom input pixels.
+// The scalar originals are retained in ref.go as the correctness oracle. On
+// the real runtime ComputeRaw additionally parallelizes each query across a
+// bounded worker group (App.Parallelism): subsampling fans the page list
+// (pages write disjoint output regions), averaging splits the output into one
+// row band per worker, each resolved independently into its slice of the
+// blob. Integer sums commute, so results are byte-identical to the serial
+// loop.
 package vm
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mqsched/internal/dataset"
@@ -157,8 +173,16 @@ type App struct {
 	// PrefetchDepth, when positive, starts background fetches for the next
 	// PrefetchDepth chunks while processing the current one (requires a
 	// PageReader implementing query.Prefetcher). 0 — the paper's behaviour —
-	// reads chunks strictly synchronously.
+	// reads chunks strictly synchronously. Each chunk is hinted at most once
+	// per query (a high-water mark, not a re-sliding window).
 	PrefetchDepth int
+	// Parallelism bounds the worker goroutines one ComputeRaw call may fan
+	// its page list across on the real runtime (intra-query parallelism).
+	// 0 selects GOMAXPROCS; 1 reproduces the paper's single-threaded query
+	// loop. The simulated runtime always runs the serial loop: virtual-time
+	// processes cannot be shared across host goroutines, and modelled
+	// compute is charged to the virtual clock either way.
+	Parallelism int
 }
 
 // New returns the VM app over the given slides with default costs.
@@ -167,9 +191,13 @@ func New(table *dataset.Table) *App {
 }
 
 var _ query.App = (*App)(nil)
+var _ query.ParallelComputer = (*App)(nil)
 
 // Name implements query.App.
 func (a *App) Name() string { return "virtual-microscope" }
+
+// SetComputeParallelism implements query.ParallelComputer.
+func (a *App) SetComputeParallelism(n int) { a.Parallelism = n }
 
 // Cmp implements Equation (1): exact predicate equality means the cached
 // blob is the full answer.
@@ -279,32 +307,114 @@ func (a *App) Project(ctx rt.Ctx, src *query.Blob, dst query.Meta, out *query.Bl
 	return covered
 }
 
-// projectPixels performs the real-data transformation for Project.
+// projectPixels performs the real-data transformation for Project, one
+// output row at a time. The op switch and grid geometry are hoisted out of
+// the loops; source and destination offsets advance by fixed strides.
 func (a *App) projectPixels(srcData []byte, s Meta, dstData []byte, d Meta, covered geom.Rect, k int64) {
 	srcOut := s.OutRect()
 	dstOut := d.OutRect()
+	w := covered.Dx()
+	if w <= 0 || covered.Dy() <= 0 {
+		return
+	}
+	if k == 1 {
+		// Same zoom: either op is the identity, so each covered row is
+		// one contiguous memmove.
+		for y := covered.Y0; y < covered.Y1; y++ {
+			di := pixOffset(dstOut, covered.X0, y)
+			si := pixOffset(srcOut, covered.X0, y)
+			copy(dstData[di:di+w*BytesPerPixel], srcData[si:si+w*BytesPerPixel])
+		}
+		return
+	}
+	switch d.Op {
+	case Subsample:
+		sStride := k * BytesPerPixel
+		for y := covered.Y0; y < covered.Y1; y++ {
+			si := pixOffset(srcOut, covered.X0*k, y*k)
+			di := pixOffset(dstOut, covered.X0, y)
+			subsampleRow(dstData[di:di+w*BytesPerPixel], srcData, si, sStride, w)
+		}
+	case Average:
+		projectAverageRows(srcData, srcOut, dstData, dstOut, covered, k)
+	}
+}
+
+// rowSumPool recycles the per-row RGB sum scratch of projectAverageRows.
+var rowSumPool sync.Pool
+
+func getRowSums(n int64) []uint64 {
+	if p, _ := rowSumPool.Get().(*[]uint64); p != nil && int64(cap(*p)) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint64, n)
+}
+
+func putRowSums(s []uint64) { rowSumPool.Put(&s) }
+
+// projectAverageRows coarsens k×k source pixels per covered output pixel,
+// walking whole source rows: each output row accumulates its k source rows
+// into a pooled row of RGB sums and divides once at the end, so the source
+// image is read strictly sequentially and no per-pixel offsets are computed.
+// Integer sums match the scalar reference bit-for-bit.
+func projectAverageRows(srcData []byte, srcOut geom.Rect, dstData []byte, dstOut, covered geom.Rect, k int64) {
+	w := covered.Dx()
+	sums := getRowSums(3 * w)
+	defer putRowSums(sums)
+	n := uint64(k * k)
+	var magic uint64
+	if n >= 2 && n < 1<<28 {
+		magic = avgMagic(n)
+	}
+	srcStride := srcOut.Dx() * BytesPerPixel
 	for y := covered.Y0; y < covered.Y1; y++ {
-		for x := covered.X0; x < covered.X1; x++ {
-			di := pixOffset(dstOut, x, y)
-			switch d.Op {
-			case Subsample:
-				// dst sample point base (x·Zd, y·Zd) = src out pixel (x·k, y·k).
-				si := pixOffset(srcOut, x*k, y*k)
-				copy(dstData[di:di+3], srcData[si:si+3])
-			case Average:
-				var r, g, b int64
-				for v := y * k; v < (y+1)*k; v++ {
-					for u := x * k; u < (x+1)*k; u++ {
-						si := pixOffset(srcOut, u, v)
-						r += int64(srcData[si])
-						g += int64(srcData[si+1])
-						b += int64(srcData[si+2])
-					}
+		clear(sums)
+		si0 := pixOffset(srcOut, covered.X0*k, y*k)
+		rowLen := w * k * BytesPerPixel
+		safe12 := rowLen - 12
+		for v := int64(0); v < k; v++ {
+			row := srcData[si0+v*srcStride:]
+			row = row[:rowLen]
+			off := int64(0)
+			for x := int64(0); x < w; x++ {
+				var r, g, b uint64
+				u := int64(0)
+				// Four pixels per step; see avgAccum.add.
+				for ; u+3 < k && off <= safe12; u += 4 {
+					u0 := binary.LittleEndian.Uint64(row[off:])
+					u1 := uint64(binary.LittleEndian.Uint32(row[off+8:]))
+					r += (u0&avgMaskR)*avgMulR>>48 + (u1>>8)&0xff
+					g += (u0>>8&avgMaskR)*avgMulR>>48 + (u1>>16)&0xff
+					b += (u0>>16&avgMaskR)*avgMulR>>48 + u1&0xff + u1>>24
+					off += 12
 				}
-				n := k * k
-				dstData[di] = byte(r / n)
-				dstData[di+1] = byte(g / n)
-				dstData[di+2] = byte(b / n)
+				for ; u < k; u++ {
+					r += uint64(row[off])
+					g += uint64(row[off+1])
+					b += uint64(row[off+2])
+					off += 3
+				}
+				sums[3*x] += r
+				sums[3*x+1] += g
+				sums[3*x+2] += b
+			}
+		}
+		di := pixOffset(dstOut, covered.X0, y)
+		drow := dstData[di : di+w*BytesPerPixel]
+		if magic != 0 {
+			for x := int64(0); x < w; x++ {
+				q0, _ := bits.Mul64(sums[3*x], magic)
+				q1, _ := bits.Mul64(sums[3*x+1], magic)
+				q2, _ := bits.Mul64(sums[3*x+2], magic)
+				drow[3*x] = byte(q0)
+				drow[3*x+1] = byte(q1)
+				drow[3*x+2] = byte(q2)
+			}
+		} else {
+			for x := int64(0); x < w; x++ {
+				drow[3*x] = byte(sums[3*x] / n)
+				drow[3*x+1] = byte(sums[3*x+1] / n)
+				drow[3*x+2] = byte(sums[3*x+2] / n)
 			}
 		}
 	}
@@ -315,6 +425,11 @@ func (a *App) projectPixels(srcData []byte, s Meta, dstData []byte, d Meta, cove
 // are retrieved from disk. A retrieved chunk is first clipped to the query
 // window. The clipped chunk is then processed to compute the output image at
 // the desired magnification" (§3).
+//
+// On the real runtime, when App.Parallelism allows more than one worker and
+// the query spans more than one chunk, the page list is fanned across a
+// bounded worker group; otherwise (and always on the simulated runtime) the
+// pages are processed by the paper's serial loop.
 func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.Blob, pr query.PageReader) int64 {
 	mm := m.(Meta)
 	l := a.Table.Get(mm.DS)
@@ -322,22 +437,32 @@ func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.
 	if baseNeed.Empty() {
 		return 0
 	}
+	pages := l.PagesInRect(baseNeed)
+	h := newHinter(pr, a.PrefetchDepth, mm.DS, pages)
+	workers := query.ResolveParallelism(a.Parallelism)
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if workers > 1 && !ctx.Synthetic() {
+		if mm.Op == Average && out.Data != nil {
+			return a.computeAverageBands(ctx, mm, l, baseNeed, outSub, out, pr, workers)
+		}
+		return a.computePagesParallel(ctx, mm, l, baseNeed, outSub, out, pr, pages, h, workers)
+	}
+	return a.computePages(ctx, mm, l, baseNeed, outSub, out, pr, pages, h)
+}
 
+// computePages is the serial chunk loop (the paper's behaviour).
+func (a *App) computePages(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNeed, outSub geom.Rect, out *query.Blob, pr query.PageReader, pages []int, h *hinter) int64 {
 	// Real-data averaging accumulates across chunk boundaries.
 	var acc *avgAccum
 	if out.Data != nil && mm.Op == Average {
 		acc = newAvgAccum(outSub, mm.Zoom)
+		defer acc.release()
 	}
-
-	pages := l.PagesInRect(baseNeed)
-	pf, canPrefetch := pr.(query.Prefetcher)
 	var read int64
 	for i, p := range pages {
-		if a.PrefetchDepth > 0 && canPrefetch {
-			for j := i + 1; j <= i+a.PrefetchDepth && j < len(pages); j++ {
-				pf.StartFetch(mm.DS, pages[j])
-			}
-		}
+		h.at(i)
 		data := pr.ReadPage(ctx, mm.DS, p)
 		pageRect := l.PageRect(p)
 		piece := pageRect.Intersect(baseNeed) // clip the chunk to the window
@@ -366,6 +491,197 @@ func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.
 	return read
 }
 
+// workerState carries one worker's accounting; the padding keeps adjacent
+// workers' counters off a shared cache line.
+type workerState struct {
+	read    int64
+	compute time.Duration
+	_       [48]byte
+}
+
+// computePagesParallel fans the page list across a bounded worker group.
+// Each worker claims page indices from a shared atomic counter, reads the
+// chunk through the page space manager (safe for concurrent use), and
+// processes it. Subsampled pages write disjoint output regions, so workers
+// share out.Data without coordination; averaging goes through
+// computeAverageBands instead, and reaches this loop only for cost-only
+// queries (out.Data == nil). The workers are plain goroutines, so they never
+// call ctx.Compute themselves — each accumulates its modelled cost and the
+// calling process charges the total once.
+func (a *App) computePagesParallel(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNeed, outSub geom.Rect, out *query.Blob, pr query.PageReader, pages []int, h *hinter, workers int) int64 {
+	states := make([]workerState, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(st *workerState) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pages) {
+					return
+				}
+				p := pages[i]
+				h.at(i)
+				data := pr.ReadPage(ctx, mm.DS, p)
+				pageRect := l.PageRect(p)
+				piece := pageRect.Intersect(baseNeed)
+				if piece.Empty() {
+					continue
+				}
+				st.read += l.PageBytes(p)
+				st.compute += a.Costs.PerPageOverhead
+				switch mm.Op {
+				case Subsample:
+					outPiece := sampleGrid(piece, mm.Zoom)
+					st.compute += time.Duration(outPiece.Area()) * a.Costs.SubsamplePerOutPixel
+					if out.Data != nil && data != nil {
+						subsamplePixels(data, pageRect, out.Data, mm, outPiece)
+					}
+				case Average:
+					st.compute += time.Duration(piece.Area()) * a.Costs.AveragePerInPixel
+				}
+			}
+		}(&states[w])
+	}
+	wg.Wait()
+
+	var read int64
+	var compute time.Duration
+	for i := range states {
+		read += states[i].read
+		compute += states[i].compute
+	}
+	ctx.Compute(compute)
+	return read
+}
+
+// computeAverageBands parallelizes averaging by splitting the output rows of
+// outSub into one horizontal band per worker. Band edges in base coordinates
+// are multiples of the zoom, so no output cell straddles two bands: every
+// worker accumulates exactly the source pixels of its own cells into a
+// band-sized accumulator and resolves them straight into its disjoint slice
+// of out.Data. Compared to fanning pages into per-worker full-grid
+// accumulators this needs no merge pass, zeroes workers× less scratch, and
+// finishes in parallel — the costs that otherwise swamp the kernel speedup on
+// large queries. Within a band pages fold in file order, and integer sums
+// commute, so the result is byte-identical to the serial loop. A page
+// straddling a band boundary is read by each band that needs it (the page
+// space serves the later reads from cache) but its bytes and per-page
+// overhead are charged only to the topmost band, matching serial accounting.
+func (a *App) computeAverageBands(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNeed, outSub geom.Rect, out *query.Blob, pr query.PageReader, workers int) int64 {
+	states := make([]workerState, workers)
+	per := (outSub.Dy() + int64(workers) - 1) / int64(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		y0 := outSub.Y0 + int64(w)*per
+		y1 := y0 + per
+		if y1 > outSub.Y1 {
+			y1 = outSub.Y1
+		}
+		if y0 >= y1 {
+			break
+		}
+		bandOut := geom.R(outSub.X0, y0, outSub.X1, y1)
+		wg.Add(1)
+		go func(st *workerState, bandOut geom.Rect) {
+			defer wg.Done()
+			bandNeed := bandOut.Mul(mm.Zoom).Intersect(baseNeed)
+			if bandNeed.Empty() {
+				return
+			}
+			pages := l.PagesInRect(bandNeed)
+			h := newHinter(pr, a.PrefetchDepth, mm.DS, pages)
+			acc := newAvgAccum(bandOut, mm.Zoom)
+			defer acc.release()
+			for i, p := range pages {
+				h.at(i)
+				data := pr.ReadPage(ctx, mm.DS, p)
+				pageRect := l.PageRect(p)
+				piece := pageRect.Intersect(bandNeed)
+				if piece.Empty() {
+					continue
+				}
+				if pageRect.Intersect(baseNeed).Y0 >= bandNeed.Y0 {
+					st.read += l.PageBytes(p)
+					st.compute += a.Costs.PerPageOverhead
+				}
+				st.compute += time.Duration(piece.Area()) * a.Costs.AveragePerInPixel
+				if data != nil {
+					acc.add(data, pageRect, piece)
+				}
+			}
+			acc.finish(out.Data, mm)
+		}(&states[w], bandOut)
+	}
+	wg.Wait()
+
+	var read int64
+	var compute time.Duration
+	for i := range states {
+		read += states[i].read
+		compute += states[i].compute
+	}
+	ctx.Compute(compute)
+	return read
+}
+
+// hinter issues chunk read-ahead hints at most once per page. The previous
+// implementation re-hinted the next PrefetchDepth pages on every iteration
+// as the window slid, so each page was hinted up to PrefetchDepth times —
+// and since the page space manager caps concurrent background fetches and
+// drops hints beyond the cap, the duplicates crowded out real read-ahead.
+// A monotonic high-water mark (atomic, so parallel workers share it) makes
+// every StartFetch unique.
+type hinter struct {
+	pf    query.Prefetcher
+	ds    string
+	pages []int
+	depth int
+	hw    atomic.Int64 // next page index not yet hinted
+}
+
+// newHinter returns nil (a no-op hinter) when prefetching is off or the
+// reader cannot prefetch.
+func newHinter(pr query.PageReader, depth int, ds string, pages []int) *hinter {
+	if depth <= 0 {
+		return nil
+	}
+	pf, ok := pr.(query.Prefetcher)
+	if !ok {
+		return nil
+	}
+	return &hinter{pf: pf, ds: ds, pages: pages, depth: depth}
+}
+
+// at hints the not-yet-hinted pages within the read-ahead window of
+// pages[i], i.e. indices [max(hw, i+1), i+1+depth).
+func (h *hinter) at(i int) {
+	if h == nil {
+		return
+	}
+	end := int64(i + 1 + h.depth)
+	if n := int64(len(h.pages)); end > n {
+		end = n
+	}
+	for {
+		cur := h.hw.Load()
+		start := int64(i + 1)
+		if cur > start {
+			start = cur
+		}
+		if start >= end {
+			return
+		}
+		if h.hw.CompareAndSwap(cur, end) {
+			for j := start; j < end; j++ {
+				h.pf.StartFetch(h.ds, h.pages[j])
+			}
+			return
+		}
+	}
+}
+
 // sampleGrid returns the output pixels whose subsample point (X·z, Y·z)
 // falls inside base.
 func sampleGrid(base geom.Rect, z int64) geom.Rect {
@@ -387,16 +703,100 @@ func pixOffset(grid geom.Rect, x, y int64) int64 {
 	return ((y-grid.Y0)*grid.Dx() + (x - grid.X0)) * BytesPerPixel
 }
 
-// subsamplePixels writes every z-th input pixel into the output blob.
+// subsamplePixels writes every z-th input pixel into the output blob, one
+// row at a time: the source offset advances by a fixed 3·z-byte stride and
+// z == 1 rows (the contiguous case) degenerate to single memmoves.
 func subsamplePixels(page []byte, pageRect geom.Rect, dst []byte, m Meta, outPiece geom.Rect) {
 	dstOut := m.OutRect()
+	w := outPiece.Dx()
+	if w <= 0 || outPiece.Dy() <= 0 {
+		return
+	}
+	z := m.Zoom
+	if z == 1 {
+		for y := outPiece.Y0; y < outPiece.Y1; y++ {
+			si := pixOffset3(pageRect, outPiece.X0, y)
+			di := pixOffset(dstOut, outPiece.X0, y)
+			copy(dst[di:di+w*BytesPerPixel], page[si:si+w*BytesPerPixel])
+		}
+		return
+	}
+	sStride := z * BytesPerPixel
 	for y := outPiece.Y0; y < outPiece.Y1; y++ {
-		for x := outPiece.X0; x < outPiece.X1; x++ {
-			si := pixOffset3(pageRect, x*m.Zoom, y*m.Zoom)
-			di := pixOffset(dstOut, x, y)
-			copy(dst[di:di+3], page[si:si+3])
+		si := pixOffset3(pageRect, outPiece.X0*z, y*z)
+		di := pixOffset(dstOut, outPiece.X0, y)
+		subsampleRow(dst[di:di+w*BytesPerPixel], page, si, sStride, w)
+	}
+}
+
+// subsampleRow gathers w source pixels spaced sStride ≥ 6 bytes apart
+// starting at src[si] and packs them contiguously into the 3·w-byte dst.
+// Eight gathered pixels pack into three 8-byte stores, the tail into
+// narrower stores whose stray high bytes are overwritten by the next
+// group; the final pixel is written exactly. Every wide source read stays
+// inside the bytes the last pixel's own 3-byte read proves present,
+// because the reads start at least sStride-4 bytes before it.
+func subsampleRow(dst, src []byte, si, sStride, w int64) {
+	const m = 0xffffff
+	x := int64(0)
+	if sStride == 12 {
+		// Zoom 2 on a zoom-1 source and zoom-4 raw pages both gather at
+		// a 12-byte stride; the literal offsets below fold into load
+		// displacements instead of per-group index arithmetic.
+		for ; x+8 < w; x += 8 {
+			p0 := uint64(binary.LittleEndian.Uint32(src[si:]))
+			p1 := uint64(binary.LittleEndian.Uint32(src[si+12:]))
+			p2 := uint64(binary.LittleEndian.Uint32(src[si+24:]))
+			p3 := uint64(binary.LittleEndian.Uint32(src[si+36:]))
+			p4 := uint64(binary.LittleEndian.Uint32(src[si+48:]))
+			p5 := uint64(binary.LittleEndian.Uint32(src[si+60:]))
+			p6 := uint64(binary.LittleEndian.Uint32(src[si+72:]))
+			p7 := uint64(binary.LittleEndian.Uint32(src[si+84:]))
+			binary.LittleEndian.PutUint64(dst[3*x:], p0&m|p1<<24)
+			binary.LittleEndian.PutUint64(dst[3*x+6:], p2&m|p3<<24)
+			binary.LittleEndian.PutUint64(dst[3*x+12:], p4&m|p5<<24)
+			binary.LittleEndian.PutUint64(dst[3*x+18:], p6&m|p7<<24)
+			si += 96
+		}
+	} else {
+		for ; x+8 < w; x += 8 {
+			p0 := uint64(binary.LittleEndian.Uint32(src[si:]))
+			p1 := uint64(binary.LittleEndian.Uint32(src[si+sStride:]))
+			p2 := uint64(binary.LittleEndian.Uint32(src[si+2*sStride:]))
+			p3 := uint64(binary.LittleEndian.Uint32(src[si+3*sStride:]))
+			p4 := uint64(binary.LittleEndian.Uint32(src[si+4*sStride:]))
+			p5 := uint64(binary.LittleEndian.Uint32(src[si+5*sStride:]))
+			p6 := uint64(binary.LittleEndian.Uint32(src[si+6*sStride:]))
+			p7 := uint64(binary.LittleEndian.Uint32(src[si+7*sStride:]))
+			binary.LittleEndian.PutUint64(dst[3*x:], p0&m|p1<<24)
+			binary.LittleEndian.PutUint64(dst[3*x+6:], p2&m|p3<<24)
+			binary.LittleEndian.PutUint64(dst[3*x+12:], p4&m|p5<<24)
+			binary.LittleEndian.PutUint64(dst[3*x+18:], p6&m|p7<<24)
+			si += 8 * sStride
 		}
 	}
+	for ; x+4 < w; x += 4 {
+		p0 := uint64(binary.LittleEndian.Uint32(src[si:]))
+		p1 := uint64(binary.LittleEndian.Uint32(src[si+sStride:]))
+		p2 := uint64(binary.LittleEndian.Uint32(src[si+2*sStride:]))
+		p3 := uint64(binary.LittleEndian.Uint32(src[si+3*sStride:]))
+		binary.LittleEndian.PutUint64(dst[3*x:], p0&m|p1<<24)
+		binary.LittleEndian.PutUint64(dst[3*x+6:], p2&m|p3<<24)
+		si += 4 * sStride
+	}
+	for ; x+2 < w; x += 2 {
+		lo := uint64(binary.LittleEndian.Uint32(src[si:]))
+		hi := uint64(binary.LittleEndian.Uint32(src[si+sStride:]))
+		binary.LittleEndian.PutUint64(dst[3*x:], lo&m|hi<<24)
+		si += 2 * sStride
+	}
+	for ; x+1 < w; x++ {
+		binary.LittleEndian.PutUint32(dst[3*x:], binary.LittleEndian.Uint32(src[si:]))
+		si += sStride
+	}
+	dst[3*(w-1)] = src[si]
+	dst[3*(w-1)+1] = src[si+1]
+	dst[3*(w-1)+2] = src[si+2]
 }
 
 // pixOffset3 returns the byte offset of base pixel (x, y) in a page laid out
@@ -415,45 +815,168 @@ type avgAccum struct {
 	cnt  []uint32
 }
 
+// SWAR constants for averaging interleaved RGB: in a little-endian 8-byte
+// load, bytes {0,3,6} are the same channel. Masking with avgMaskR and
+// multiplying by avgMulR places their exact sum (≤ 765, no lane overflow —
+// the partial sums below bit 48 stay under 2^33) in bits 48..63, so one
+// mask+multiply+shift folds three samples; shifting the word right by 8 or
+// 16 first reuses the same constants for the other two channels.
+const (
+	avgMaskR = 0x00FF0000FF0000FF
+	avgMulR  = 0x0001000001000001
+)
+
+// avgMagic returns m = ceil(2^64/n), such that floor(x/n) is exactly the
+// high word of x·m for every averaging numerator x ≤ 255·n. (The error of
+// m relative to 2^64/n is under 1/n·2^-64 per unit of x, so the quotient
+// stays exact while 255·n² < 2^64 — callers fall back to plain division
+// for n ≥ 2^28, far beyond any real zoom.) n must be ≥ 2.
+func avgMagic(n uint64) uint64 { return ^uint64(0)/n + 1 }
+
+// avgAccumPool recycles accumulator scratch: the sums and counts for a large
+// output grid are the biggest per-query allocations on the real runtime, and
+// query threads churn through one (or, fanned out, several) per query.
+var avgAccumPool sync.Pool
+
+// newAvgAccum returns a zeroed accumulator over grid, reusing pooled
+// buffers when they are large enough. Pair with release.
 func newAvgAccum(grid geom.Rect, zoom int64) *avgAccum {
 	n := grid.Area()
-	return &avgAccum{grid: grid, zoom: zoom, sums: make([]uint64, 3*n), cnt: make([]uint32, n)}
+	a, _ := avgAccumPool.Get().(*avgAccum)
+	if a == nil {
+		a = &avgAccum{}
+	}
+	a.grid, a.zoom = grid, zoom
+	if int64(cap(a.sums)) >= 3*n {
+		a.sums = a.sums[:3*n]
+		clear(a.sums)
+	} else {
+		a.sums = make([]uint64, 3*n)
+	}
+	if int64(cap(a.cnt)) >= n {
+		a.cnt = a.cnt[:n]
+		clear(a.cnt)
+	} else {
+		a.cnt = make([]uint32, n)
+	}
+	return a
 }
 
+// release returns the accumulator's scratch buffers to the pool.
+func (a *avgAccum) release() { avgAccumPool.Put(a) }
+
 // add folds the base pixels of piece (inside pageRect's payload) into the
-// accumulator.
+// accumulator, one run at a time: within a row, every run of up to zoom
+// consecutive input pixels lands in the same output cell, so the output
+// coordinates and grid-bounds check are resolved once per run instead of
+// once per pixel, and the page bytes are walked with a single incrementing
+// offset.
 func (a *avgAccum) add(page []byte, pageRect, piece geom.Rect) {
-	for by := piece.Y0; by < piece.Y1; by++ {
-		for bx := piece.X0; bx < piece.X1; bx++ {
-			si := pixOffset3(pageRect, bx, by)
-			ox := geom.FloorDiv(bx, a.zoom)
-			oy := geom.FloorDiv(by, a.zoom)
-			if !a.grid.ContainsPoint(ox, oy) {
-				continue
+	z := a.zoom
+	gw := a.grid.Dx()
+	pStride := pageRect.Dx() * BytesPerPixel
+	safe12 := int64(len(page)) - 12
+	// Walk output cells band by band: all of a cell's source rows inside
+	// piece are folded while its RGB sums sit in registers, so the
+	// accumulator arrays take one read-modify-write per cell instead of
+	// one per source row.
+	for oy := geom.FloorDiv(piece.Y0, z); oy*z < piece.Y1; oy++ {
+		if oy < a.grid.Y0 {
+			continue
+		}
+		if oy >= a.grid.Y1 {
+			break
+		}
+		y0, y1 := oy*z, oy*z+z
+		if y0 < piece.Y0 {
+			y0 = piece.Y0
+		}
+		if y1 > piece.Y1 {
+			y1 = piece.Y1
+		}
+		rows := y1 - y0
+		rowIdx := (oy - a.grid.Y0) * gw
+		base := (y0-pageRect.Y0)*pStride - pageRect.X0*BytesPerPixel
+		bx := piece.X0
+		ox := geom.FloorDiv(bx, z)
+		for bx < piece.X1 {
+			runEnd := (ox + 1) * z
+			if runEnd > piece.X1 {
+				runEnd = piece.X1
 			}
-			idx := (oy-a.grid.Y0)*a.grid.Dx() + (ox - a.grid.X0)
-			a.sums[3*idx] += uint64(page[si])
-			a.sums[3*idx+1] += uint64(page[si+1])
-			a.sums[3*idx+2] += uint64(page[si+2])
-			a.cnt[idx]++
+			if ox >= a.grid.X0 && ox < a.grid.X1 {
+				run := runEnd - bx
+				var r, g, b uint64
+				si0 := base + bx*BytesPerPixel
+				for v := int64(0); v < rows; v++ {
+					si := si0
+					cx := bx
+					// Four pixels (12 bytes) per step: an 8-byte and
+					// a 4-byte load, three mask-multiply horizontal
+					// sums.
+					for ; cx+3 < runEnd && si <= safe12; cx += 4 {
+						u0 := binary.LittleEndian.Uint64(page[si:])
+						u1 := uint64(binary.LittleEndian.Uint32(page[si+8:]))
+						r += (u0&avgMaskR)*avgMulR>>48 + (u1>>8)&0xff
+						g += (u0>>8&avgMaskR)*avgMulR>>48 + (u1>>16)&0xff
+						b += (u0>>16&avgMaskR)*avgMulR>>48 + u1&0xff + u1>>24
+						si += 12
+					}
+					for ; cx < runEnd; cx++ {
+						r += uint64(page[si])
+						g += uint64(page[si+1])
+						b += uint64(page[si+2])
+						si += 3
+					}
+					si0 += pStride
+				}
+				idx := rowIdx + (ox - a.grid.X0)
+				a.sums[3*idx] += r
+				a.sums[3*idx+1] += g
+				a.sums[3*idx+2] += b
+				a.cnt[idx] += uint32(run * rows)
+			}
+			bx = runEnd
+			ox++
 		}
 	}
 }
 
-// finish writes the averaged pixels into dst.
+// finish writes the averaged pixels into dst, walking the grid and the
+// output blob with incremental offsets. Interior cells all share the same
+// count (zoom²), so the expensive per-cell division is replaced by a
+// multiply with a reciprocal recomputed only when the count changes.
 func (a *avgAccum) finish(dst []byte, m Meta) {
 	dstOut := m.OutRect()
+	gw := a.grid.Dx()
+	var lastN, magic uint64
 	for y := a.grid.Y0; y < a.grid.Y1; y++ {
-		for x := a.grid.X0; x < a.grid.X1; x++ {
-			idx := (y-a.grid.Y0)*a.grid.Dx() + (x - a.grid.X0)
-			n := uint64(a.cnt[idx])
-			if n == 0 {
-				continue
+		idx := (y - a.grid.Y0) * gw
+		di := pixOffset(dstOut, a.grid.X0, y)
+		for x := int64(0); x < gw; x++ {
+			switch n := uint64(a.cnt[idx]); {
+			case n == 0:
+			case n == 1:
+				dst[di] = byte(a.sums[3*idx])
+				dst[di+1] = byte(a.sums[3*idx+1])
+				dst[di+2] = byte(a.sums[3*idx+2])
+			case n < 1<<28:
+				if n != lastN {
+					lastN, magic = n, avgMagic(n)
+				}
+				q0, _ := bits.Mul64(a.sums[3*idx], magic)
+				q1, _ := bits.Mul64(a.sums[3*idx+1], magic)
+				q2, _ := bits.Mul64(a.sums[3*idx+2], magic)
+				dst[di] = byte(q0)
+				dst[di+1] = byte(q1)
+				dst[di+2] = byte(q2)
+			default:
+				dst[di] = byte(a.sums[3*idx] / n)
+				dst[di+1] = byte(a.sums[3*idx+1] / n)
+				dst[di+2] = byte(a.sums[3*idx+2] / n)
 			}
-			di := pixOffset(dstOut, x, y)
-			dst[di] = byte(a.sums[3*idx] / n)
-			dst[di+1] = byte(a.sums[3*idx+1] / n)
-			dst[di+2] = byte(a.sums[3*idx+2] / n)
+			idx++
+			di += BytesPerPixel
 		}
 	}
 }

@@ -3,6 +3,7 @@ package vm
 import (
 	"bytes"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,15 +27,17 @@ type synCtx struct{ fakeCtx }
 
 func (s *synCtx) Synthetic() bool { return true }
 
-// directReader serves pages straight from the synthetic slide.
+// directReader serves pages straight from the synthetic slide. The read
+// counter is atomic because ComputeRaw reads pages from parallel workers
+// when Parallelism allows it.
 type directReader struct {
 	l     *dataset.Layout
-	reads int
+	reads atomic.Int64
 	syn   bool
 }
 
 func (r *directReader) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
-	r.reads++
+	r.reads.Add(1)
 	if r.syn {
 		return nil
 	}
@@ -195,8 +198,8 @@ func TestComputeRawMatchesOracle(t *testing.T) {
 			out := app.NewBlob(ctx, m)
 			pr := &directReader{l: l}
 			read := app.ComputeRaw(ctx, m, m.OutRect(), out, pr)
-			if read <= 0 || pr.reads == 0 {
-				t.Fatalf("%v zoom %d: read=%d pages=%d", op, zoom, read, pr.reads)
+			if read <= 0 || pr.reads.Load() == 0 {
+				t.Fatalf("%v zoom %d: read=%d pages=%d", op, zoom, read, pr.reads.Load())
 			}
 			want := RenderOracle(m)
 			if !bytes.Equal(out.Data, want) {

@@ -1,0 +1,98 @@
+package vol
+
+import (
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"mqsched/internal/geom"
+)
+
+var kernelOut = flag.String("kernelout", "", "write BenchmarkVolKernels opt-vs-ref results as JSON to this path")
+
+type kernelEntry struct {
+	Kernel  string  `json:"kernel"`
+	RefMBs  float64 `json:"ref_mb_per_s"`
+	OptMBs  float64 `json:"opt_mb_per_s"`
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchmarkVolKernels measures the row-vectorized voxel kernels against the
+// scalar references on identical inputs, mirroring vm's BenchmarkKernels.
+// Voxels are one byte, so MB/s is input voxels per second.
+func BenchmarkVolKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	var entries []*kernelEntry
+	bench := func(name string, bytesPerOp int64, ref, opt func()) {
+		e := &kernelEntry{Kernel: "vol/" + name}
+		entries = append(entries, e)
+		measure := func(fn func(), out *float64) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.SetBytes(bytesPerOp)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fn()
+				}
+				if s := b.Elapsed().Seconds(); s > 0 {
+					*out = float64(bytesPerOp) * float64(b.N) / (1 << 20) / s
+				}
+			}
+		}
+		b.Run(name+"/ref", measure(ref, &e.RefMBs))
+		b.Run(name+"/opt", measure(opt, &e.OptMBs))
+	}
+
+	const side = 1024
+	pageRect := geom.R(0, 0, side, side)
+	page := randBytes(rng, pageRect.Area())
+	inBytes := pageRect.Area()
+
+	// Accumulation of one full page into a 4x-coarser grid, both reductions
+	// share the accumulate kernel; finish resolves each op.
+	{
+		zoom := int64(4)
+		grid := geom.R(0, 0, side/zoom, side/zoom)
+		m := Meta{DS: "v1", Window: pageRect, Zoom: zoom, Op: MIP, Z0: 0, Z1: 1, SliceH: 1 << 16}
+		dst := make([]byte, m.OutRect().Area())
+		refAcc := newProjAccumRef(grid, m)
+		optAcc := newProjAccumRef(grid, m) // unpooled: measure the kernels, not the pool
+		bench("accum/zoom4", inBytes,
+			func() { refAcc.addRef(page, pageRect, pageRect, 0); refAcc.finishRef(dst, m) },
+			func() { optAcc.add(page, pageRect, pageRect, 0); optAcc.finish(dst, m) })
+	}
+
+	// Projection of a cached result onto a 4x coarser query, per op.
+	for _, op := range []Op{MIP, MeanZ} {
+		dstOut := geom.R(0, 0, side/4, side/4)
+		srcOut := dstOut.Mul(4)
+		srcData := randBytes(rng, srcOut.Area())
+		dst := make([]byte, dstOut.Area())
+		bench("project/"+op.String()+"/k4", srcOut.Area(),
+			func() { projectPixelsRef(srcData, srcOut, dst, dstOut, dstOut, 4, op) },
+			func() { projectPixels(srcData, srcOut, dst, dstOut, dstOut, 4, op) })
+	}
+
+	for _, e := range entries {
+		if e.RefMBs > 0 {
+			e.Speedup = e.OptMBs / e.RefMBs
+		}
+	}
+	if *kernelOut == "" {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Kernel < entries[j].Kernel })
+	out := struct {
+		Benchmark string         `json:"benchmark"`
+		Kernels   []*kernelEntry `json:"kernels"`
+	}{Benchmark: "BenchmarkVolKernels", Kernels: entries}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*kernelOut, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

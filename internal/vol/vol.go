@@ -21,6 +21,8 @@ package vol
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mqsched/internal/dataset"
@@ -150,6 +152,10 @@ type App struct {
 	Table *dataset.Table
 	Dims  map[string]Dims
 	Costs CostModel
+	// Parallelism bounds the worker goroutines one ComputeRaw call may fan
+	// its tile list across on the real runtime; 0 selects GOMAXPROCS, 1 the
+	// serial loop. See vm.App.Parallelism for the full contract.
+	Parallelism int
 }
 
 // New builds the app. Register each volume with Add before querying it.
@@ -172,9 +178,13 @@ func (a *App) Finish(table *dataset.Table) *App {
 }
 
 var _ query.App = (*App)(nil)
+var _ query.ParallelComputer = (*App)(nil)
 
 // Name implements query.App.
 func (a *App) Name() string { return "volume-viz" }
+
+// SetComputeParallelism implements query.ParallelComputer.
+func (a *App) SetComputeParallelism(n int) { a.Parallelism = n }
 
 // Cmp implements Equation (1).
 func (a *App) Cmp(x, y query.Meta) bool {
@@ -270,26 +280,99 @@ func (a *App) Project(ctx rt.Ctx, src *query.Blob, dst query.Meta, out *query.Bl
 	return covered
 }
 
+// projRowPool recycles the per-row scratch of projectPixels (max bytes or
+// intensity sums, depending on the operator).
+var (
+	projMaxPool sync.Pool
+	projSumPool sync.Pool
+)
+
+func getMaxRow(n int64) []byte {
+	if p, _ := projMaxPool.Get().(*[]byte); p != nil && int64(cap(*p)) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+func putMaxRow(s []byte) { projMaxPool.Put(&s) }
+
+func getSumRow(n int64) []uint64 {
+	if p, _ := projSumPool.Get().(*[]uint64); p != nil && int64(cap(*p)) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint64, n)
+}
+
+func putSumRow(s []uint64) { projSumPool.Put(&s) }
+
+// projectPixels coarsens the cached projection image one output row at a
+// time: the operator switch and grid geometry are hoisted out of the inner
+// loops, k == 1 degenerates to per-row memmoves (max and mean of one voxel
+// are the voxel), and k > 1 folds k source rows into a pooled scratch row
+// so the source image is read strictly sequentially.
 func projectPixels(srcData []byte, srcOut geom.Rect, dstData []byte, dstOut, covered geom.Rect, k int64, op Op) {
-	for y := covered.Y0; y < covered.Y1; y++ {
-		for x := covered.X0; x < covered.X1; x++ {
-			var acc, n int64
-			var mx byte
-			for v := y * k; v < (y+1)*k; v++ {
-				for u := x * k; u < (x+1)*k; u++ {
-					px := srcData[(v-srcOut.Y0)*srcOut.Dx()+(u-srcOut.X0)]
-					if px > mx {
-						mx = px
+	w := covered.Dx()
+	if w <= 0 || covered.Dy() <= 0 {
+		return
+	}
+	if k == 1 {
+		for y := covered.Y0; y < covered.Y1; y++ {
+			si := (y-srcOut.Y0)*srcOut.Dx() + (covered.X0 - srcOut.X0)
+			di := (y-dstOut.Y0)*dstOut.Dx() + (covered.X0 - dstOut.X0)
+			copy(dstData[di:di+w], srcData[si:si+w])
+		}
+		return
+	}
+	srcStride := srcOut.Dx()
+	switch op {
+	case MIP:
+		mxs := getMaxRow(w)
+		defer putMaxRow(mxs)
+		for y := covered.Y0; y < covered.Y1; y++ {
+			clear(mxs)
+			si0 := (y*k-srcOut.Y0)*srcStride + (covered.X0*k - srcOut.X0)
+			for v := int64(0); v < k; v++ {
+				row := srcData[si0+v*srcStride:]
+				row = row[:w*k]
+				off := int64(0)
+				for x := int64(0); x < w; x++ {
+					mx := mxs[x]
+					for u := int64(0); u < k; u++ {
+						if row[off] > mx {
+							mx = row[off]
+						}
+						off++
 					}
-					acc += int64(px)
-					n++
+					mxs[x] = mx
 				}
 			}
-			di := (y-dstOut.Y0)*dstOut.Dx() + (x - dstOut.X0)
-			if op == MIP {
-				dstData[di] = mx
-			} else {
-				dstData[di] = byte(acc / n)
+			di := (y-dstOut.Y0)*dstOut.Dx() + (covered.X0 - dstOut.X0)
+			copy(dstData[di:di+w], mxs)
+		}
+	case MeanZ:
+		sums := getSumRow(w)
+		defer putSumRow(sums)
+		n := uint64(k * k)
+		for y := covered.Y0; y < covered.Y1; y++ {
+			clear(sums)
+			si0 := (y*k-srcOut.Y0)*srcStride + (covered.X0*k - srcOut.X0)
+			for v := int64(0); v < k; v++ {
+				row := srcData[si0+v*srcStride:]
+				row = row[:w*k]
+				off := int64(0)
+				for x := int64(0); x < w; x++ {
+					var s uint64
+					for u := int64(0); u < k; u++ {
+						s += uint64(row[off])
+						off++
+					}
+					sums[x] += s
+				}
+			}
+			di := (y-dstOut.Y0)*dstOut.Dx() + (covered.X0 - dstOut.X0)
+			drow := dstData[di : di+w]
+			for x := int64(0); x < w; x++ {
+				drow[x] = byte(sums[x] / n)
 			}
 		}
 	}
@@ -297,7 +380,11 @@ func projectPixels(srcData []byte, srcOut geom.Rect, dstData []byte, dstOut, cov
 
 // ComputeRaw implements query.App: fold every voxel of the slab under
 // outSub into the projection accumulator, reading slice tiles through the
-// page space manager.
+// page space manager. On the real runtime, when App.Parallelism allows more
+// than one worker, the flattened (slice, tile) work list is fanned across a
+// bounded worker group with per-worker accumulators merged at the end —
+// max-of-maxes and integer sums commute, so the output is byte-identical to
+// the serial loop.
 func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.Blob, pr query.PageReader) int64 {
 	mm := m.(Meta)
 	l := a.Table.Get(mm.DS)
@@ -306,9 +393,16 @@ func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.
 		return 0
 	}
 
+	if workers := query.ResolveParallelism(a.Parallelism); workers > 1 && !ctx.Synthetic() {
+		if read, ok := a.computeTilesParallel(ctx, mm, l, baseNeed, outSub, out, pr, workers); ok {
+			return read
+		}
+	}
+
 	var acc *projAccum
 	if out.Data != nil {
 		acc = newProjAccum(outSub, mm)
+		defer acc.release()
 	}
 
 	var read int64
@@ -335,6 +429,93 @@ func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.
 	return read
 }
 
+// computeTilesParallel fans the slab's flattened (slice, tile) list across
+// workers claiming items from a shared atomic counter. As in vm, the plain
+// worker goroutines never touch ctx: each accumulates its modelled cost and
+// the calling process charges the total once at the end. Returns ok=false
+// when the slab has too few tiles to be worth fanning out.
+func (a *App) computeTilesParallel(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNeed, outSub geom.Rect, out *query.Blob, pr query.PageReader, workers int) (int64, bool) {
+	type tile struct {
+		page int
+		yOff int64 // z·SliceH
+	}
+	var tiles []tile
+	for z := mm.Z0; z < mm.Z1; z++ {
+		yOff := int64(z) * mm.SliceH
+		for _, p := range l.PagesInRect(baseNeed.Translate(0, yOff)) {
+			tiles = append(tiles, tile{page: p, yOff: yOff})
+		}
+	}
+	if len(tiles) < 2 {
+		return 0, false
+	}
+	if workers > len(tiles) {
+		workers = len(tiles)
+	}
+
+	type workerState struct {
+		acc     *projAccum
+		read    int64
+		compute time.Duration
+		_       [24]byte // avoid false sharing between adjacent workers
+	}
+	states := make([]workerState, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(st *workerState) {
+			defer wg.Done()
+			if out.Data != nil {
+				st.acc = newProjAccum(outSub, mm)
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tiles) {
+					return
+				}
+				t := tiles[i]
+				data := pr.ReadPage(ctx, mm.DS, t.page)
+				pageRect := l.PageRect(t.page)
+				piece := pageRect.Intersect(baseNeed.Translate(0, t.yOff))
+				if piece.Empty() {
+					continue
+				}
+				st.read += l.PageBytes(t.page)
+				st.compute += a.Costs.PerPageOverhead
+				st.compute += time.Duration(piece.Area()) * a.Costs.PerInVoxel
+				if st.acc != nil && data != nil {
+					st.acc.add(data, pageRect, piece, t.yOff)
+				}
+			}
+		}(&states[w])
+	}
+	wg.Wait()
+
+	var read int64
+	var compute time.Duration
+	var acc *projAccum
+	for i := range states {
+		read += states[i].read
+		compute += states[i].compute
+		if states[i].acc == nil {
+			continue
+		}
+		if acc == nil {
+			acc = states[i].acc
+		} else {
+			acc.merge(states[i].acc)
+			states[i].acc.release()
+		}
+	}
+	ctx.Compute(compute)
+	if acc != nil {
+		acc.finish(out.Data, mm)
+		acc.release()
+	}
+	return read, true
+}
+
 // projAccum folds voxels into per-output-pixel max and sum across pages and
 // slices.
 type projAccum struct {
@@ -345,46 +526,132 @@ type projAccum struct {
 	cnt  []uint32
 }
 
+// projAccumPool recycles accumulator scratch (see vm.avgAccumPool).
+var projAccumPool sync.Pool
+
+// newProjAccum returns a zeroed accumulator over grid, reusing pooled
+// buffers when they are large enough. Pair with release.
 func newProjAccum(grid geom.Rect, m Meta) *projAccum {
 	n := grid.Area()
-	return &projAccum{grid: grid, zoom: m.Zoom, mx: make([]byte, n), sum: make([]uint64, n), cnt: make([]uint32, n)}
+	a, _ := projAccumPool.Get().(*projAccum)
+	if a == nil {
+		a = &projAccum{}
+	}
+	a.grid, a.zoom = grid, m.Zoom
+	if int64(cap(a.mx)) >= n {
+		a.mx = a.mx[:n]
+		clear(a.mx)
+	} else {
+		a.mx = make([]byte, n)
+	}
+	if int64(cap(a.sum)) >= n {
+		a.sum = a.sum[:n]
+		clear(a.sum)
+	} else {
+		a.sum = make([]uint64, n)
+	}
+	if int64(cap(a.cnt)) >= n {
+		a.cnt = a.cnt[:n]
+		clear(a.cnt)
+	} else {
+		a.cnt = make([]uint32, n)
+	}
+	return a
 }
 
+// release returns the accumulator's scratch buffers to the pool.
+func (a *projAccum) release() { projAccumPool.Put(a) }
+
 // add folds the voxels of piece (stacked coordinates; yOff = z·SliceH) into
-// the accumulator.
+// the accumulator, one run at a time: within a row every run of up to zoom
+// consecutive voxels lands in the same output cell, so the output
+// coordinates and grid-bounds check are resolved once per run instead of
+// once per voxel, and the page bytes are walked with a single incrementing
+// offset.
 func (a *projAccum) add(page []byte, pageRect, piece geom.Rect, yOff int64) {
+	z := a.zoom
+	gw := a.grid.Dx()
+	pStride := pageRect.Dx()
 	for sy := piece.Y0; sy < piece.Y1; sy++ {
 		by := sy - yOff // in-slice y
-		for bx := piece.X0; bx < piece.X1; bx++ {
-			v := page[(sy-pageRect.Y0)*pageRect.Dx()+(bx-pageRect.X0)]
-			ox := geom.FloorDiv(bx, a.zoom)
-			oy := geom.FloorDiv(by, a.zoom)
-			if !a.grid.ContainsPoint(ox, oy) {
-				continue
+		oy := geom.FloorDiv(by, z)
+		if oy < a.grid.Y0 || oy >= a.grid.Y1 {
+			continue
+		}
+		rowIdx := (oy - a.grid.Y0) * gw
+		si := (sy-pageRect.Y0)*pStride + (piece.X0 - pageRect.X0)
+		bx := piece.X0
+		ox := geom.FloorDiv(bx, z)
+		for bx < piece.X1 {
+			runEnd := (ox + 1) * z
+			if runEnd > piece.X1 {
+				runEnd = piece.X1
 			}
-			idx := (oy-a.grid.Y0)*a.grid.Dx() + (ox - a.grid.X0)
-			if v > a.mx[idx] {
-				a.mx[idx] = v
+			if ox >= a.grid.X0 && ox < a.grid.X1 {
+				run := runEnd - bx
+				idx := rowIdx + (ox - a.grid.X0)
+				mx := a.mx[idx]
+				var sum uint64
+				for ; bx < runEnd; bx++ {
+					v := page[si]
+					if v > mx {
+						mx = v
+					}
+					sum += uint64(v)
+					si++
+				}
+				a.mx[idx] = mx
+				a.sum[idx] += sum
+				a.cnt[idx] += uint32(run)
+			} else {
+				si += runEnd - bx
+				bx = runEnd
 			}
-			a.sum[idx] += uint64(v)
-			a.cnt[idx]++
+			ox++
 		}
 	}
 }
 
+// merge folds b — an accumulator over the same grid — into a. Max-of-maxes
+// and integer sums commute, so merging per-worker accumulators in any order
+// gives the same result as one serial accumulation.
+func (a *projAccum) merge(b *projAccum) {
+	for i, v := range b.mx {
+		if v > a.mx[i] {
+			a.mx[i] = v
+		}
+	}
+	for i, v := range b.sum {
+		a.sum[i] += v
+	}
+	for i, v := range b.cnt {
+		a.cnt[i] += v
+	}
+}
+
+// finish writes the projected pixels into dst with the operator switch
+// hoisted out of the loops and incremental offsets.
 func (a *projAccum) finish(dst []byte, m Meta) {
 	dstOut := m.OutRect()
+	gw := a.grid.Dx()
 	for y := a.grid.Y0; y < a.grid.Y1; y++ {
-		for x := a.grid.X0; x < a.grid.X1; x++ {
-			idx := (y-a.grid.Y0)*a.grid.Dx() + (x - a.grid.X0)
-			if a.cnt[idx] == 0 {
-				continue
+		idx := (y - a.grid.Y0) * gw
+		di := (y-dstOut.Y0)*dstOut.Dx() + (a.grid.X0 - dstOut.X0)
+		if m.Op == MIP {
+			for x := int64(0); x < gw; x++ {
+				if a.cnt[idx] != 0 {
+					dst[di] = a.mx[idx]
+				}
+				idx++
+				di++
 			}
-			di := (y-dstOut.Y0)*dstOut.Dx() + (x - dstOut.X0)
-			if m.Op == MIP {
-				dst[di] = a.mx[idx]
-			} else {
-				dst[di] = byte(a.sum[idx] / uint64(a.cnt[idx]))
+		} else {
+			for x := int64(0); x < gw; x++ {
+				if n := uint64(a.cnt[idx]); n != 0 {
+					dst[di] = byte(a.sum[idx] / n)
+				}
+				idx++
+				di++
 			}
 		}
 	}

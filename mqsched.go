@@ -171,6 +171,11 @@ type Config struct {
 	// served by cmd/mqserver's /metrics endpoint (Prometheus text format).
 	// When false the instrumentation costs one nil check per event.
 	EnableMetrics bool
+	// ComputeParallelism bounds the worker goroutines one query may fan its
+	// raw-chunk computation across on the real runtime: 1 keeps the serial
+	// per-query loop, 0 selects a GOMAXPROCS-derived default, n > 1 caps
+	// the fan-out. Ignored on the simulated runtime.
+	ComputeParallelism int
 }
 
 // System is an assembled query server with its substrates.
@@ -262,11 +267,12 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 	s.graph = sched.New(s.rtm, s.app, policy)
 	s.graph.UseMetrics(s.reg)
 	s.srv = server.New(s.rtm, s.app, s.graph, s.ds, s.ps, server.Options{
-		Threads:          cfg.Threads,
-		BlockOnExecuting: !cfg.DisableBlocking,
-		Tracer:           s.tracer,
-		Spans:            s.spans,
-		Metrics:          s.reg,
+		Threads:            cfg.Threads,
+		BlockOnExecuting:   !cfg.DisableBlocking,
+		ComputeParallelism: cfg.ComputeParallelism,
+		Tracer:             s.tracer,
+		Spans:              s.spans,
+		Metrics:            s.reg,
 	})
 	return s, nil
 }
