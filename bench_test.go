@@ -40,6 +40,7 @@ var (
 	paperScale    = flag.Bool("paperscale", false, "run benchmarks at the paper's full 256-query scale")
 	scalingOut    = flag.String("scalingout", "", "write BenchmarkScaling results as JSON to this path")
 	largeQueryOut = flag.String("largequeryout", "", "write BenchmarkLargeQueryParallel results as JSON to this path")
+	diskOut       = flag.String("diskout", "", "write BenchmarkDiskSweep results as JSON to this path")
 )
 
 // benchBase returns the benchmark workload scale.
@@ -479,6 +480,107 @@ func BenchmarkLargeQueryParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile(*largeQueryOut, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// diskSweepPPS runs the disk-sweep workload once on the real (wall clock)
+// runtime and returns pages read per second. Eight concurrent readers scan
+// overlapping 256-page windows of one dataset, submitting their reads in
+// 32-page batches through Farm.ReadPages. Under FIFO the interleaved streams
+// destroy each spindle's sequentiality (every page pays a thrash-inflated
+// random positioning); the elevator sorts each spindle's queue back into
+// runs and merges adjacent pages into multi-page transfers billed one
+// positioning each.
+func diskSweepPPS(b *testing.B, sched disk.Sched) float64 {
+	b.Helper()
+	rtm := rt.NewReal(rt.RealOptions{TimeScale: 0.02})
+	l := dataset.New("d", 147*40, 147*40, 3, 147) // 1600 pages of 64827B
+	farm := disk.NewFarm(rtm, disk.Config{Disks: 4, Sched: sched}, testapp.Generate)
+
+	const readers = 8
+	const perReader = 256
+	const chunk = 32
+	errs := make(chan error, readers)
+	start := time.Now()
+	for c := 0; c < readers; c++ {
+		c := c
+		rtm.Spawn(fmt.Sprintf("reader%d", c), func(ctx rt.Ctx) {
+			base := c * 64 // overlapping windows: [base, base+256)
+			for off := 0; off < perReader; off += chunk {
+				pages := make([]int, chunk)
+				for j := range pages {
+					pages[j] = base + off + j
+				}
+				for _, data := range farm.ReadPages(ctx, l, pages) {
+					if data == nil {
+						errs <- fmt.Errorf("reader %d: nil page", c)
+						return
+					}
+				}
+			}
+			errs <- nil
+		})
+	}
+	for c := 0; c < readers; c++ {
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	rtm.Wait()
+	if sched == disk.SchedElevator && farm.Stats().MergedReads == 0 {
+		b.Fatal("elevator arm did not merge any reads")
+	}
+	return float64(readers*perReader) / elapsed.Seconds()
+}
+
+// BenchmarkDiskSweep compares the two per-spindle service disciplines under
+// concurrent overlapping scans on the real runtime: pages per second for
+// FIFO (the paper's model) versus the elevator scheduler. With
+// -diskout=PATH the best pages/sec per discipline and the elevator speedup
+// are written as JSON (see BENCH_disk.json for the committed baseline).
+func BenchmarkDiskSweep(b *testing.B) {
+	scheds := []disk.Sched{disk.SchedFIFO, disk.SchedElevator}
+	best := map[disk.Sched]float64{}
+	for _, sc := range scheds {
+		b.Run(sc.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pps := diskSweepPPS(b, sc)
+				if pps > best[sc] {
+					best[sc] = pps
+				}
+				b.ReportMetric(pps, "pages/s")
+			}
+		})
+	}
+	if *diskOut == "" {
+		return
+	}
+	type point struct {
+		Sched       string  `json:"sched"`
+		PagesPerSec float64 `json:"pages_per_sec"`
+	}
+	var pts []point
+	for _, sc := range scheds {
+		pts = append(pts, point{Sched: sc.String(), PagesPerSec: best[sc]})
+	}
+	speedup := 0.0
+	if best[disk.SchedFIFO] > 0 {
+		speedup = best[disk.SchedElevator] / best[disk.SchedFIFO]
+	}
+	out := struct {
+		Benchmark string  `json:"benchmark"`
+		Readers   int     `json:"readers"`
+		Pages     int     `json:"pages"`
+		Points    []point `json:"points"`
+		Speedup   float64 `json:"elevator_speedup"`
+	}{Benchmark: "BenchmarkDiskSweep", Readers: 8, Pages: 8 * 256, Points: pts, Speedup: speedup}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*diskOut, append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"mqsched/internal/disk"
 	"mqsched/internal/driver"
 	"mqsched/internal/experiment"
 	"mqsched/internal/metrics"
@@ -35,6 +36,9 @@ func main() {
 		threads  = flag.Int("threads", 4, "query threads (where not swept)")
 		cpus     = flag.Int("cpus", 24, "processors of the simulated SMP")
 		disks    = flag.Int("disks", 4, "spindles in the disk farm")
+		ioSched  = flag.String("io-sched", "fifo", "per-spindle service discipline: fifo (the paper's model) or elevator (reorder + merge)")
+		ioBatch  = flag.Int("io-batch", 0, "max distinct pages per merged elevator transfer (0 = default 16)")
+		ioDelay  = flag.Int("io-maxdelay", 0, "elevator starvation bound in bypassing dispatches (0 = default 8, negative = unbounded)")
 		psPre    = flag.Int("psprefetch", 0, "cap on concurrent background page prefetches (0 = 2x spindles, negative = unlimited)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		csvDir   = flag.String("csv", "", "directory to write CSV copies of each table")
@@ -50,12 +54,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sched, err := disk.ParseSched(*ioSched)
+	if err != nil {
+		fatal(err)
+	}
 	base := experiment.Config{
 		Clients:            *clients,
 		QueriesPerClient:   *queries,
 		Threads:            *threads,
 		CPUs:               *cpus,
 		Disks:              *disks,
+		IOSched:            sched,
+		IOBatchPages:       *ioBatch,
+		IOMaxDelay:         *ioDelay,
 		Seed:               *seed,
 		PSPrefetchLimit:    *psPre,
 		ComputeParallelism: *computeW,
@@ -238,6 +249,10 @@ func replayWorkload(path string, base experiment.Config, policy string, op vm.Op
 			float64(m.Queries)/m.Makespan,
 			float64(m.Server.ReusedOutputBytes)/mb/m.Makespan,
 			float64(m.Server.ComputedOutputBytes)/mb/m.Makespan)
+	}
+	if d := m.Disk; d.Batches > 0 {
+		fmt.Printf("disk elevator: %d batches (%.2f pages/batch), %d merged reads, max reorder %d\n",
+			d.Batches, float64(d.BatchPagesSum)/float64(d.Batches), d.MergedReads, d.MaxReorder)
 	}
 	fmt.Println("\nspan-derived percentiles (seconds, simulated time):")
 	fmt.Print(trace.FormatStrategyStats(m.Spans.StrategyStats()))

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"mqsched"
+	"mqsched/internal/disk"
 	"mqsched/internal/metrics"
 	"mqsched/internal/netproto"
 	"mqsched/internal/trace"
@@ -49,6 +50,9 @@ func main() {
 		slowlog    = flag.Duration("slowlog", 0, "log the span tree of queries slower than this (runtime clock; 0 disables the fixed threshold)")
 		slowlogPct = flag.Float64("slowlog-pct", 0, "log queries slower than this trailing percentile of recent responses, e.g. 99 (0 disables)")
 		computeW   = flag.Int("compute-workers", 0, "intra-query compute worker bound (0 = GOMAXPROCS, 1 = serial per-query loop)")
+		ioSched    = flag.String("io-sched", "fifo", "per-spindle service discipline: fifo (the paper's model) or elevator (reorder + merge)")
+		ioBatch    = flag.Int("io-batch", 0, "max distinct pages per merged elevator transfer (0 = default 16)")
+		ioDelay    = flag.Int("io-maxdelay", 0, "elevator starvation bound in bypassing dispatches (0 = default 8, negative = unbounded)")
 	)
 	flag.Parse()
 
@@ -60,10 +64,17 @@ func main() {
 	if *dsMB < 0 {
 		dsBudget = -1
 	}
+	sched, err := disk.ParseSched(*ioSched)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sys, err := mqsched.New(mqsched.Config{
 		Mode:                mqsched.Real,
 		Policy:              *policy,
 		Threads:             *threads,
+		IOSched:             sched,
+		IOBatchPages:        *ioBatch,
+		IOMaxDelay:          *ioDelay,
 		DSBudget:            dsBudget,
 		PSBudget:            *psMB * (1 << 20),
 		TimeScale:           *timeScale,

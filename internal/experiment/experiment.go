@@ -40,6 +40,17 @@ type Config struct {
 	CPUs int
 	// Disks is the number of spindles in the disk farm (default 4).
 	Disks int
+	// IOSched selects the per-spindle service discipline (default
+	// disk.SchedFIFO, the paper's behaviour; disk.SchedElevator reorders and
+	// merges requests per spindle).
+	IOSched disk.Sched
+	// IOBatchPages caps distinct pages per merged elevator transfer (0 =
+	// the farm's default of 16; ignored under FIFO).
+	IOBatchPages int
+	// IOMaxDelay bounds elevator reordering: a request is bypassed by at
+	// most this many dispatches (0 = the farm's default of 8, negative =
+	// unbounded; ignored under FIFO).
+	IOMaxDelay int
 	// DSBudget is the data store memory (default 64 MB); -1 disables the
 	// data store entirely (the caching-off baseline).
 	DSBudget int64
@@ -203,7 +214,12 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 	)
 	app := vm.New(table)
 	app.PrefetchDepth = cfg.PrefetchDepth
-	farm := disk.NewFarm(rtm, disk.Config{Disks: cfg.Disks}, nil)
+	farm := disk.NewFarm(rtm, disk.Config{
+		Disks:         cfg.Disks,
+		Sched:         cfg.IOSched,
+		MaxBatchPages: cfg.IOBatchPages,
+		MaxDelay:      cfg.IOMaxDelay,
+	}, nil)
 	farm.UseMetrics(cfg.Metrics)
 	ps := pagespace.New(rtm, table, farm, pagespace.Options{
 		Budget:        cfg.PSBudget,

@@ -296,10 +296,117 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 	}
 }
 
+// ReadPages returns the payloads of a list of pages of one dataset, aligned
+// with the input (nil elements on the synthetic runtime). Resident pages are
+// served immediately; all absent pages are fetched from the farm in a single
+// batched submission, so an elevator-scheduled farm sees the whole list at
+// once and can reorder and merge it; requests already in flight are
+// coalesced as usual. It implements query.BatchReader.
+func (m *Manager) ReadPages(ctx rt.Ctx, ds string, pages []int) [][]byte {
+	return m.ReadPagesSpan(ctx, trace.SpanContext{}, ds, pages)
+}
+
+// ReadPagesSpan is ReadPages recorded as one span under sp (subsystem
+// "pagespace", op "readbatch") with per-outcome counts; the batched disk
+// read and any coalesced per-page waits nest under it.
+func (m *Manager) ReadPagesSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, pages []int) [][]byte {
+	if len(pages) == 0 {
+		return nil
+	}
+	span := sp.Child("pagespace", "readbatch",
+		trace.Str("dataset", ds), trace.I64("pages", int64(len(pages))))
+	l := m.table.Get(ds)
+	out := make([][]byte, len(pages))
+
+	// Pass 1: classify every page under its shard lock, without blocking.
+	// Absent pages are registered (owned by this call); in-flight pages are
+	// deferred to pass 3, where the ordinary coalescing path waits for them.
+	var owned []*pageEntry // entries registered and fetched by this call
+	var ownedIdx []int     // input index of each owned entry (first occurrence)
+	var dupIdx []int       // dedup-disabled duplicate reads, by input index
+	var waiters []int      // input indices deferred to the coalescing path
+	var hits, misses int64
+	for i, p := range pages {
+		k := pageKey{ds, p}
+		sh := m.shardFor(k)
+		sh.mu.Lock()
+		e := sh.pages[k]
+		switch {
+		case e != nil && e.resident:
+			hits++
+			sh.lru.MoveToFront(e.elem)
+			e.touch = m.clock.Add(1)
+			out[i] = e.data
+			sh.mu.Unlock()
+
+		case e != nil && !m.opts.DisableDedup:
+			sh.mu.Unlock()
+			waiters = append(waiters, i)
+
+		case e != nil:
+			// Dedup disabled: duplicate read, paid but not cached.
+			misses++
+			sh.mu.Unlock()
+			dupIdx = append(dupIdx, i)
+
+		default:
+			e = &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("page %s/%d", ds, p))}
+			sh.pages[k] = e
+			misses++
+			sh.mu.Unlock()
+			owned = append(owned, e)
+			ownedIdx = append(ownedIdx, i)
+		}
+	}
+	m.st.hits.Add(hits)
+	m.mx.hits.Add(hits)
+	m.st.misses.Add(misses)
+	m.mx.misses.Add(misses)
+
+	// Pass 2: one batched farm read for everything this call must fetch —
+	// owned pages first, dedup-disabled duplicates after.
+	if len(owned)+len(dupIdx) > 0 {
+		fetchPages := make([]int, 0, len(owned)+len(dupIdx))
+		for _, i := range ownedIdx {
+			fetchPages = append(fetchPages, pages[i])
+		}
+		for _, i := range dupIdx {
+			fetchPages = append(fetchPages, pages[i])
+		}
+		datas := m.farm.ReadPagesSpan(ctx, span, l, fetchPages)
+		for j, e := range owned {
+			m.publish(l, e, datas[j])
+			out[ownedIdx[j]] = datas[j]
+		}
+		for j, i := range dupIdx {
+			out[i] = datas[len(owned)+j]
+			m.st.bytesRead.Add(l.PageBytes(pages[i]))
+			m.mx.readBytes.Add(l.PageBytes(pages[i]))
+		}
+	}
+
+	// Pass 3: indices deferred onto in-flight fetches (including duplicate
+	// occurrences within pages itself) go through the ordinary per-page path,
+	// which waits on the owning fetch's gate and handles eviction races.
+	for _, i := range waiters {
+		out[i] = m.ReadPageSpan(ctx, span, ds, pages[i])
+	}
+	span.Finish(trace.I64("hits", hits), trace.I64("misses", misses),
+		trace.I64("coalesced", int64(len(waiters))))
+	return out
+}
+
 // fetchAndPublish reads the page from the farm and makes it resident. sp
 // parents the disk span (inert for background prefetches).
 func (m *Manager) fetchAndPublish(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, e *pageEntry) []byte {
 	data := m.farm.ReadSpan(ctx, sp, l, e.key.page)
+	m.publish(l, e, data)
+	return data
+}
+
+// publish makes a fetched page resident, charges it against the budget, and
+// wakes coalesced waiters.
+func (m *Manager) publish(l *dataset.Layout, e *pageEntry, data []byte) {
 	size := l.PageBytes(e.key.page)
 	sh := m.shardFor(e.key)
 
@@ -319,7 +426,6 @@ func (m *Manager) fetchAndPublish(ctx rt.Ctx, sp trace.SpanContext, l *dataset.L
 	m.mx.residentBytes.Set(m.st.residentBytes.Load())
 	m.mx.resident.Set(m.st.residentPages.Load())
 	e.gate.Open() // wake coalesced waiters (no park: open is non-blocking)
-	return data
 }
 
 // fetchUntracked is the dedup-disabled duplicate read path: disk time is
@@ -428,6 +534,65 @@ func (m *Manager) StartFetch(ds string, page int) {
 		m.releasePrefetchSlot()
 	})
 }
+
+// StartFetchBatch begins fetching a run of pages in the background
+// (query.BatchPrefetcher). Pages already resident or in flight are skipped;
+// the remainder are submitted to the farm as one batched read in a single
+// background process, so an elevator-scheduled farm can merge them into
+// multi-page transfers. The whole batch consumes one background-fetch slot
+// against Options.PrefetchLimit; if no slot is free the entire hint is
+// dropped (counted once in PrefetchDrops).
+func (m *Manager) StartFetchBatch(ds string, pages []int) {
+	if m.opts.DisableDedup || len(pages) == 0 {
+		return
+	}
+	if limit := int64(m.opts.PrefetchLimit); limit > 0 {
+		if m.prefetching.Add(1) > limit {
+			m.prefetching.Add(-1)
+			m.st.prefetchDrops.Add(1)
+			m.mx.prefetchDrops.Inc()
+			return
+		}
+	}
+	l := m.table.Get(ds)
+	var fetch []*pageEntry
+	var fetchPages []int
+	for _, p := range pages {
+		k := pageKey{ds, p}
+		sh := m.shardFor(k)
+		sh.mu.Lock()
+		if _, exists := sh.pages[k]; exists {
+			sh.mu.Unlock()
+			continue
+		}
+		e := &pageEntry{key: k, gate: m.newGate(fmt.Sprintf("prefetch %s/%d", ds, p))}
+		sh.pages[k] = e
+		m.st.prefetches.Add(1)
+		m.mx.prefetches.Inc()
+		sh.mu.Unlock()
+		fetch = append(fetch, e)
+		fetchPages = append(fetchPages, p)
+	}
+	if len(fetch) == 0 {
+		m.releasePrefetchSlot()
+		return
+	}
+	name := fmt.Sprintf("prefetch-%s-%d+%d", ds, fetchPages[0], len(fetchPages))
+	m.rtm.Spawn(name, func(ctx rt.Ctx) {
+		datas := m.farm.ReadPages(ctx, l, fetchPages)
+		for i, e := range fetch {
+			m.publish(l, e, datas[i])
+		}
+		m.releasePrefetchSlot()
+	})
+}
+
+// IOBatchPages reports the farm's preferred pages-per-batch for ReadPages
+// calls (0 when batched submission brings no benefit, i.e. a FIFO farm). It
+// implements query.BatchReader; applications use it to gate their batched
+// fan-out so the paper's one-page-at-a-time behaviour is preserved under
+// FIFO scheduling.
+func (m *Manager) IOBatchPages() int { return m.farm.IOBatchPages() }
 
 // releasePrefetchSlot returns a reserved background-fetch slot.
 func (m *Manager) releasePrefetchSlot() {

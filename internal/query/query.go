@@ -54,6 +54,38 @@ type Prefetcher interface {
 	StartFetch(dataset string, page int)
 }
 
+// BatchReader is optionally implemented by a PageReader that accepts whole
+// page lists in one call, letting an elevator-scheduled disk farm reorder
+// and merge the requests into multi-page transfers. IOBatchPages reports the
+// preferred pages per ReadPages call; 0 means batched submission brings no
+// benefit (a FIFO farm) and applications should keep the paper's
+// one-page-at-a-time loop.
+type BatchReader interface {
+	PageReader
+	ReadPages(ctx rt.Ctx, dataset string, pages []int) [][]byte
+	IOBatchPages() int
+}
+
+// BatchPrefetcher is optionally implemented by a Prefetcher that accepts a
+// whole run of prefetch hints at once; the run is fetched as one batched
+// background read and consumes a single prefetch slot.
+type BatchPrefetcher interface {
+	StartFetchBatch(dataset string, pages []int)
+}
+
+// BatchOf returns pr as a BatchReader together with its preferred chunk
+// size, or (nil, 0) when pr does not support batched reads or reports that
+// they bring no benefit. Applications call it once per query to decide
+// between the chunked fan-out and the paper's one-page-at-a-time loop.
+func BatchOf(pr PageReader) (BatchReader, int) {
+	if br, ok := pr.(BatchReader); ok {
+		if n := br.IOBatchPages(); n > 0 {
+			return br, n
+		}
+	}
+	return nil, 0
+}
+
 // ParallelComputer is optionally implemented by an App whose ComputeRaw can
 // fan one query's chunk list across a bounded worker group on the real
 // runtime (intra-query parallelism). n bounds the workers per ComputeRaw

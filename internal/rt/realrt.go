@@ -118,4 +118,10 @@ func (s *realStation) Serve(ctx Ctx, d time.Duration) {
 	<-s.sem
 }
 
+func (s *realStation) ServeWith(ctx Ctx, cost func() time.Duration) {
+	s.sem <- struct{}{}
+	time.Sleep(s.rt.scaled(cost()))
+	<-s.sem
+}
+
 func (s *realStation) Utilization() float64 { return 0 }

@@ -67,6 +67,14 @@ type Cond interface {
 // server for d.
 type Station interface {
 	Serve(ctx Ctx, d time.Duration)
+	// ServeWith enqueues the process and, once a server is granted, calls
+	// cost to determine the service duration, then occupies the server for
+	// it. Because cost runs at dispatch time — after the queueing delay —
+	// service disciplines that depend on the server's state when the request
+	// reaches the head of the queue (positioning costs, batching decisions)
+	// are priced against the actual service order, not the arrival order.
+	// cost must not block.
+	ServeWith(ctx Ctx, cost func() time.Duration)
 	// Utilization returns the time-averaged fraction of busy servers, in
 	// [0, 1], where supported (simulated runtime); otherwise 0.
 	Utilization() float64

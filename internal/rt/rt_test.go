@@ -195,3 +195,66 @@ func TestRealGateDoubleOpen(t *testing.T) {
 		t.Fatal("gate should be open")
 	}
 }
+
+// TestSimStationServeWith: ServeWith prices the request when the station is
+// granted, after the queueing delay, and the grant order is FCFS — so
+// dispatch-time pricing sees the true service order.
+func TestSimStationServeWith(t *testing.T) {
+	eng := sim.New()
+	r := NewSim(eng, 4)
+	disk := r.NewStation("disk0", 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		r.Spawn(fmt.Sprintf("io%d", i), func(ctx Ctx) {
+			disk.ServeWith(ctx, func() time.Duration {
+				order = append(order, i)
+				return 7 * time.Millisecond
+			})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != 21*time.Millisecond {
+		t.Fatalf("makespan %v, want 21ms", eng.Now())
+	}
+	if fmt.Sprint(order) != "[0 1 2]" {
+		t.Fatalf("grant order %v", order)
+	}
+}
+
+// TestRealStationServeWith: the real station evaluates the cost while
+// holding the slot and sleeps the scaled duration.
+func TestRealStationServeWith(t *testing.T) {
+	r := NewReal(RealOptions{TimeScale: 0.001})
+	disk := r.NewStation("disk0", 1)
+	var mu sync.Mutex
+	inside, maxInside := 0, 0
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		r.Spawn(fmt.Sprintf("io%d", i), func(ctx Ctx) {
+			disk.ServeWith(ctx, func() time.Duration {
+				mu.Lock()
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				mu.Unlock()
+				return 10 * time.Millisecond
+			})
+			mu.Lock()
+			inside--
+			mu.Unlock()
+		})
+	}
+	go func() { r.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeWith deadlocked")
+	}
+	if maxInside > 1 {
+		t.Fatalf("capacity-1 station admitted %d concurrent costs", maxInside)
+	}
+}

@@ -107,4 +107,8 @@ func (s *simStation) Serve(ctx Ctx, d time.Duration) {
 	s.res.Release()
 }
 
+func (s *simStation) ServeWith(ctx Ctx, cost func() time.Duration) {
+	s.res.UseWith(ctx.(*simCtx).p, cost)
+}
+
 func (s *simStation) Utilization() float64 { return s.res.Utilization() }

@@ -407,7 +407,15 @@ func (r spanReader) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 	return r.ps.ReadPageSpan(ctx, r.sc, ds, page)
 }
 
+func (r spanReader) ReadPages(ctx rt.Ctx, ds string, pages []int) [][]byte {
+	return r.ps.ReadPagesSpan(ctx, r.sc, ds, pages)
+}
+
+func (r spanReader) IOBatchPages() int { return r.ps.IOBatchPages() }
+
 func (r spanReader) StartFetch(ds string, page int) { r.ps.StartFetch(ds, page) }
+
+func (r spanReader) StartFetchBatch(ds string, pages []int) { r.ps.StartFetchBatch(ds, pages) }
 
 // projectFromStore projects data-store candidates into out, returning the
 // output area newly covered. On the real runtime, when ComputeParallelism

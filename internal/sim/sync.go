@@ -160,6 +160,22 @@ func (r *Resource) Use(p *Proc, d time.Duration) {
 	r.Release()
 }
 
+// UseWith acquires the resource, then calls cost to determine the service
+// duration, sleeps for it, and releases. Unlike Use, the duration is decided
+// at dispatch time — after the queueing delay, when the request actually
+// reaches a server — so a batched or reordered service discipline layered on
+// top of the resource can price the request against the state the server is
+// in when it starts, not the state at enqueue. cost runs inside the process
+// (no park), so on this single-threaded kernel it observes and may mutate
+// shared dispatch state without extra locking.
+func (r *Resource) UseWith(p *Proc, cost func() time.Duration) {
+	r.Acquire(p)
+	if d := cost(); d > 0 {
+		p.Sleep(d)
+	}
+	r.Release()
+}
+
 // InUse returns the number of busy units.
 func (r *Resource) InUse() int { return r.inUse }
 

@@ -266,3 +266,57 @@ func TestResourceFCFSProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestResourceUseWithDefersCost: UseWith prices the service only once the
+// resource is granted, so a later arrival's cost can observe state written
+// by earlier holders during their service.
+func TestResourceUseWithDefersCost(t *testing.T) {
+	e := New()
+	r := e.NewResource("disk", 1)
+	var firstDone bool
+	var grantedAt []time.Duration
+	e.Go("first", func(p *Proc) {
+		r.UseWith(p, func() time.Duration {
+			grantedAt = append(grantedAt, e.Now())
+			firstDone = true
+			return 10 * time.Millisecond
+		})
+	})
+	e.Go("second", func(p *Proc) {
+		r.UseWith(p, func() time.Duration {
+			grantedAt = append(grantedAt, e.Now())
+			if !firstDone {
+				t.Error("second cost evaluated before first holder served")
+			}
+			return 5 * time.Millisecond
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 15*time.Millisecond {
+		t.Fatalf("makespan %v, want 15ms", e.Now())
+	}
+	// Costs run at grant time: t=0 and t=10ms, not both at enqueue time.
+	if len(grantedAt) != 2 || grantedAt[0] != 0 || grantedAt[1] != 10*time.Millisecond {
+		t.Fatalf("cost evaluation times %v", grantedAt)
+	}
+}
+
+// TestResourceUseWithZeroCost: a zero-duration service must not park the
+// process forever.
+func TestResourceUseWithZeroCost(t *testing.T) {
+	e := New()
+	r := e.NewResource("disk", 1)
+	ran := false
+	e.Go("p", func(p *Proc) {
+		r.UseWith(p, func() time.Duration { return 0 })
+		ran = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Now() != 0 {
+		t.Fatalf("ran=%v now=%v", ran, e.Now())
+	}
+}

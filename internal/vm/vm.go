@@ -452,7 +452,10 @@ func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.
 	return a.computePages(ctx, mm, l, baseNeed, outSub, out, pr, pages, h)
 }
 
-// computePages is the serial chunk loop (the paper's behaviour).
+// computePages is the serial chunk loop (the paper's behaviour). When the
+// reader prefers batched submission (an elevator-scheduled farm), the page
+// list is read in reader-sized chunks so the disk scheduler sees whole runs
+// at once; processing per page is unchanged.
 func (a *App) computePages(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNeed, outSub geom.Rect, out *query.Blob, pr query.PageReader, pages []int, h *hinter) int64 {
 	// Real-data averaging accumulates across chunk boundaries.
 	var acc *avgAccum
@@ -461,13 +464,12 @@ func (a *App) computePages(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNeed, out
 		defer acc.release()
 	}
 	var read int64
-	for i, p := range pages {
-		h.at(i)
-		data := pr.ReadPage(ctx, mm.DS, p)
+	process := func(i int, data []byte) {
+		p := pages[i]
 		pageRect := l.PageRect(p)
 		piece := pageRect.Intersect(baseNeed) // clip the chunk to the window
 		if piece.Empty() {
-			continue
+			return
 		}
 		read += l.PageBytes(p)
 		ctx.Compute(a.Costs.PerPageOverhead)
@@ -483,6 +485,24 @@ func (a *App) computePages(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNeed, out
 			if acc != nil && data != nil {
 				acc.add(data, pageRect, piece)
 			}
+		}
+	}
+	if br, chunk := query.BatchOf(pr); br != nil {
+		for start := 0; start < len(pages); start += chunk {
+			end := start + chunk
+			if end > len(pages) {
+				end = len(pages)
+			}
+			h.at(end - 1) // hint the next window before blocking on this chunk
+			datas := br.ReadPages(ctx, mm.DS, pages[start:end])
+			for j, data := range datas {
+				process(start+j, data)
+			}
+		}
+	} else {
+		for i := range pages {
+			h.at(i)
+			process(i, pr.ReadPage(ctx, mm.DS, pages[i]))
 		}
 	}
 	if acc != nil {
@@ -510,6 +530,14 @@ type workerState struct {
 // calling process charges the total once.
 func (a *App) computePagesParallel(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNeed, outSub geom.Rect, out *query.Blob, pr query.PageReader, pages []int, h *hinter, workers int) int64 {
 	states := make([]workerState, workers)
+	// With a batch-preferring reader, workers claim whole chunks so each
+	// submission hands the disk scheduler a run of pages; otherwise the
+	// chunk size is 1 and this is the original per-page claim loop.
+	br, chunk := query.BatchOf(pr)
+	if br == nil {
+		chunk = 1
+	}
+	numChunks := (len(pages) + chunk - 1) / chunk
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -517,29 +545,41 @@ func (a *App) computePagesParallel(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseN
 		go func(st *workerState) {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pages) {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
 					return
 				}
-				p := pages[i]
-				h.at(i)
-				data := pr.ReadPage(ctx, mm.DS, p)
-				pageRect := l.PageRect(p)
-				piece := pageRect.Intersect(baseNeed)
-				if piece.Empty() {
-					continue
+				start := c * chunk
+				end := start + chunk
+				if end > len(pages) {
+					end = len(pages)
 				}
-				st.read += l.PageBytes(p)
-				st.compute += a.Costs.PerPageOverhead
-				switch mm.Op {
-				case Subsample:
-					outPiece := sampleGrid(piece, mm.Zoom)
-					st.compute += time.Duration(outPiece.Area()) * a.Costs.SubsamplePerOutPixel
-					if out.Data != nil && data != nil {
-						subsamplePixels(data, pageRect, out.Data, mm, outPiece)
+				h.at(end - 1)
+				var datas [][]byte
+				if br != nil {
+					datas = br.ReadPages(ctx, mm.DS, pages[start:end])
+				} else {
+					datas = [][]byte{pr.ReadPage(ctx, mm.DS, pages[start])}
+				}
+				for j, data := range datas {
+					p := pages[start+j]
+					pageRect := l.PageRect(p)
+					piece := pageRect.Intersect(baseNeed)
+					if piece.Empty() {
+						continue
 					}
-				case Average:
-					st.compute += time.Duration(piece.Area()) * a.Costs.AveragePerInPixel
+					st.read += l.PageBytes(p)
+					st.compute += a.Costs.PerPageOverhead
+					switch mm.Op {
+					case Subsample:
+						outPiece := sampleGrid(piece, mm.Zoom)
+						st.compute += time.Duration(outPiece.Area()) * a.Costs.SubsamplePerOutPixel
+						if out.Data != nil && data != nil {
+							subsamplePixels(data, pageRect, out.Data, mm, outPiece)
+						}
+					case Average:
+						st.compute += time.Duration(piece.Area()) * a.Costs.AveragePerInPixel
+					}
 				}
 			}
 		}(&states[w])
@@ -594,13 +634,12 @@ func (a *App) computeAverageBands(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNe
 			h := newHinter(pr, a.PrefetchDepth, mm.DS, pages)
 			acc := newAvgAccum(bandOut, mm.Zoom)
 			defer acc.release()
-			for i, p := range pages {
-				h.at(i)
-				data := pr.ReadPage(ctx, mm.DS, p)
+			process := func(i int, data []byte) {
+				p := pages[i]
 				pageRect := l.PageRect(p)
 				piece := pageRect.Intersect(bandNeed)
 				if piece.Empty() {
-					continue
+					return
 				}
 				if pageRect.Intersect(baseNeed).Y0 >= bandNeed.Y0 {
 					st.read += l.PageBytes(p)
@@ -609,6 +648,24 @@ func (a *App) computeAverageBands(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNe
 				st.compute += time.Duration(piece.Area()) * a.Costs.AveragePerInPixel
 				if data != nil {
 					acc.add(data, pageRect, piece)
+				}
+			}
+			if br, chunk := query.BatchOf(pr); br != nil {
+				for start := 0; start < len(pages); start += chunk {
+					end := start + chunk
+					if end > len(pages) {
+						end = len(pages)
+					}
+					h.at(end - 1)
+					datas := br.ReadPages(ctx, mm.DS, pages[start:end])
+					for j, data := range datas {
+						process(start+j, data)
+					}
+				}
+			} else {
+				for i := range pages {
+					h.at(i)
+					process(i, pr.ReadPage(ctx, mm.DS, pages[i]))
 				}
 			}
 			acc.finish(out.Data, mm)
@@ -635,6 +692,7 @@ func (a *App) computeAverageBands(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseNe
 // every StartFetch unique.
 type hinter struct {
 	pf    query.Prefetcher
+	bpf   query.BatchPrefetcher // batch the run when the reader prefers batches
 	ds    string
 	pages []int
 	depth int
@@ -642,7 +700,11 @@ type hinter struct {
 }
 
 // newHinter returns nil (a no-op hinter) when prefetching is off or the
-// reader cannot prefetch.
+// reader cannot prefetch. When the reader both prefers batched reads and
+// accepts batched hints, each uncovered run is hinted with one
+// StartFetchBatch call (a single background read the disk elevator can
+// merge) instead of per-page calls; the high-water dedup is identical
+// either way.
 func newHinter(pr query.PageReader, depth int, ds string, pages []int) *hinter {
 	if depth <= 0 {
 		return nil
@@ -651,7 +713,11 @@ func newHinter(pr query.PageReader, depth int, ds string, pages []int) *hinter {
 	if !ok {
 		return nil
 	}
-	return &hinter{pf: pf, ds: ds, pages: pages, depth: depth}
+	h := &hinter{pf: pf, ds: ds, pages: pages, depth: depth}
+	if br, _ := query.BatchOf(pr); br != nil {
+		h.bpf, _ = pr.(query.BatchPrefetcher)
+	}
+	return h
 }
 
 // at hints the not-yet-hinted pages within the read-ahead window of
@@ -674,6 +740,10 @@ func (h *hinter) at(i int) {
 			return
 		}
 		if h.hw.CompareAndSwap(cur, end) {
+			if h.bpf != nil {
+				h.bpf.StartFetchBatch(h.ds, h.pages[start:end])
+				return
+			}
 			for j := start; j < end; j++ {
 				h.pf.StartFetch(h.ds, h.pages[j])
 			}

@@ -406,20 +406,39 @@ func (a *App) ComputeRaw(ctx rt.Ctx, m query.Meta, outSub geom.Rect, out *query.
 	}
 
 	var read int64
+	br, chunk := query.BatchOf(pr)
 	for z := mm.Z0; z < mm.Z1; z++ {
 		sliceRect := baseNeed.Translate(0, int64(z)*mm.SliceH)
-		for _, p := range l.PagesInRect(sliceRect) {
-			data := pr.ReadPage(ctx, mm.DS, p)
+		pages := l.PagesInRect(sliceRect)
+		process := func(p int, data []byte) {
 			pageRect := l.PageRect(p)
 			piece := pageRect.Intersect(sliceRect)
 			if piece.Empty() {
-				continue
+				return
 			}
 			read += l.PageBytes(p)
 			ctx.Compute(a.Costs.PerPageOverhead)
 			ctx.Compute(time.Duration(piece.Area()) * a.Costs.PerInVoxel)
 			if acc != nil && data != nil {
 				acc.add(data, pageRect, piece, int64(z)*mm.SliceH)
+			}
+		}
+		if br != nil {
+			// Batch-preferring reader: submit the slice's tiles in chunks so
+			// the disk elevator sees whole runs.
+			for start := 0; start < len(pages); start += chunk {
+				end := start + chunk
+				if end > len(pages) {
+					end = len(pages)
+				}
+				datas := br.ReadPages(ctx, mm.DS, pages[start:end])
+				for j, data := range datas {
+					process(pages[start+j], data)
+				}
+			}
+		} else {
+			for _, p := range pages {
+				process(p, pr.ReadPage(ctx, mm.DS, p))
 			}
 		}
 	}
@@ -460,6 +479,13 @@ func (a *App) computeTilesParallel(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseN
 		_       [24]byte // avoid false sharing between adjacent workers
 	}
 	states := make([]workerState, workers)
+	// Workers claim whole chunks when the reader prefers batched reads
+	// (chunk 1 keeps the original per-tile claim loop otherwise).
+	br, chunk := query.BatchOf(pr)
+	if br == nil {
+		chunk = 1
+	}
+	numChunks := (len(tiles) + chunk - 1) / chunk
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -470,22 +496,38 @@ func (a *App) computeTilesParallel(ctx rt.Ctx, mm Meta, l *dataset.Layout, baseN
 				st.acc = newProjAccum(outSub, mm)
 			}
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(tiles) {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
 					return
 				}
-				t := tiles[i]
-				data := pr.ReadPage(ctx, mm.DS, t.page)
-				pageRect := l.PageRect(t.page)
-				piece := pageRect.Intersect(baseNeed.Translate(0, t.yOff))
-				if piece.Empty() {
-					continue
+				start := c * chunk
+				end := start + chunk
+				if end > len(tiles) {
+					end = len(tiles)
 				}
-				st.read += l.PageBytes(t.page)
-				st.compute += a.Costs.PerPageOverhead
-				st.compute += time.Duration(piece.Area()) * a.Costs.PerInVoxel
-				if st.acc != nil && data != nil {
-					st.acc.add(data, pageRect, piece, t.yOff)
+				var datas [][]byte
+				if br != nil {
+					pages := make([]int, end-start)
+					for j := range pages {
+						pages[j] = tiles[start+j].page
+					}
+					datas = br.ReadPages(ctx, mm.DS, pages)
+				} else {
+					datas = [][]byte{pr.ReadPage(ctx, mm.DS, tiles[start].page)}
+				}
+				for j, data := range datas {
+					t := tiles[start+j]
+					pageRect := l.PageRect(t.page)
+					piece := pageRect.Intersect(baseNeed.Translate(0, t.yOff))
+					if piece.Empty() {
+						continue
+					}
+					st.read += l.PageBytes(t.page)
+					st.compute += a.Costs.PerPageOverhead
+					st.compute += time.Duration(piece.Area()) * a.Costs.PerInVoxel
+					if st.acc != nil && data != nil {
+						st.acc.add(data, pageRect, piece, t.yOff)
+					}
 				}
 			}
 		}(&states[w])

@@ -135,6 +135,17 @@ type Config struct {
 	CPUs int
 	// Disks is the disk farm size (default 4).
 	Disks int
+	// IOSched selects the per-spindle service discipline: disk.SchedFIFO
+	// (default, the paper's one-page-at-a-time behaviour) or
+	// disk.SchedElevator (per-disk reordering and multi-page merges).
+	IOSched disk.Sched
+	// IOBatchPages caps distinct pages per merged elevator transfer (0 =
+	// the farm's default of 16; ignored under FIFO).
+	IOBatchPages int
+	// IOMaxDelay bounds elevator reordering: a request is bypassed by at
+	// most this many dispatches (0 = the farm's default of 8, negative =
+	// unbounded; ignored under FIFO).
+	IOMaxDelay int
 	// DSBudget is the data store memory in bytes (default 64 MB; -1
 	// disables result caching).
 	DSBudget int64
@@ -248,7 +259,12 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 	if cfg.EnableMetrics {
 		s.reg = metrics.NewRegistry()
 	}
-	s.farm = disk.NewFarm(s.rtm, disk.Config{Disks: cfg.Disks}, gen)
+	s.farm = disk.NewFarm(s.rtm, disk.Config{
+		Disks:         cfg.Disks,
+		Sched:         cfg.IOSched,
+		MaxBatchPages: cfg.IOBatchPages,
+		MaxDelay:      cfg.IOMaxDelay,
+	}, gen)
 	s.farm.UseMetrics(s.reg)
 	s.ps = pagespace.New(s.rtm, table, s.farm, pagespace.Options{Budget: cfg.PSBudget, Metrics: s.reg})
 	if cfg.DSBudget >= 0 {
