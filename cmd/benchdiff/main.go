@@ -1,0 +1,199 @@
+// Command benchdiff is the CI bench-regression gate: it compares a freshly
+// measured benchmark JSON against the committed baseline and exits nonzero
+// when any throughput metric regresses beyond the tolerance, turning the
+// previously upload-only artifacts into a pass/fail check.
+//
+// It understands the three result formats the repository commits:
+// BENCH_scaling.json (BenchmarkScaling: qps per thread count),
+// BENCH_disk.json (BenchmarkDiskSweep: pages/sec per discipline plus the
+// elevator speedup), and BENCH_load.json (mqload: achieved qps per strategy
+// and offered rate). Only higher-is-better throughput metrics are gated —
+// absolute latencies vary too much across runner hardware to compare.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_scaling.json -fresh scaling.json -tolerance 0.5
+//
+// A fresh metric f against baseline b fails when f < b·(1-tolerance); a
+// metric present in the baseline but missing from the fresh file fails
+// outright (a shape change must ship a new baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	var (
+		basePath = flag.String("baseline", "", "committed baseline JSON (required)")
+		fresh    = flag.String("fresh", "", "freshly measured JSON (required)")
+		tol      = flag.Float64("tolerance", 0.5, "allowed fractional regression in [0, 1): 0.5 fails below half the baseline")
+	)
+	flag.Parse()
+	switch {
+	case *basePath == "" || *fresh == "":
+		usageError(fmt.Errorf("both -baseline and -fresh are required"))
+	case flag.NArg() > 0:
+		usageError(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	case *tol < 0 || *tol >= 1:
+		usageError(fmt.Errorf("tolerance %v outside [0, 1)", *tol))
+	}
+
+	baseKind, base, err := metricsOfFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	freshKind, got, err := metricsOfFile(*fresh)
+	if err != nil {
+		fatal(err)
+	}
+	if baseKind != freshKind {
+		fatal(fmt.Errorf("comparing %s baseline against %s fresh results", baseKind, freshKind))
+	}
+
+	report, failures := compare(base, got, *tol)
+	fmt.Printf("benchdiff: %s, tolerance %.0f%%\n", baseKind, *tol*100)
+	fmt.Print(report)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+// metricsOfFile extracts the higher-is-better metrics of a results file,
+// keyed by a stable human-readable name.
+func metricsOfFile(path string) (kind string, metrics map[string]float64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	return metricsOf(data)
+}
+
+func metricsOf(data []byte) (kind string, metrics map[string]float64, err error) {
+	var probe struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", nil, fmt.Errorf("benchdiff: not a results file: %w", err)
+	}
+	metrics = map[string]float64{}
+	switch probe.Benchmark {
+	case "BenchmarkScaling":
+		var f struct {
+			Points []struct {
+				Threads int     `json:"threads"`
+				QPS     float64 `json:"qps"`
+			} `json:"points"`
+		}
+		if err := json.Unmarshal(data, &f); err != nil {
+			return "", nil, err
+		}
+		for _, p := range f.Points {
+			metrics[fmt.Sprintf("threads=%d qps", p.Threads)] = p.QPS
+		}
+	case "BenchmarkDiskSweep":
+		var f struct {
+			Points []struct {
+				Sched       string  `json:"sched"`
+				PagesPerSec float64 `json:"pages_per_sec"`
+			} `json:"points"`
+			Speedup float64 `json:"elevator_speedup"`
+		}
+		if err := json.Unmarshal(data, &f); err != nil {
+			return "", nil, err
+		}
+		for _, p := range f.Points {
+			metrics[fmt.Sprintf("sched=%s pages/sec", p.Sched)] = p.PagesPerSec
+		}
+		if f.Speedup != 0 {
+			metrics["elevator speedup"] = f.Speedup
+		}
+	case "mqload":
+		var f struct {
+			Strategies []struct {
+				Name   string `json:"name"`
+				Points []struct {
+					OfferedQPS  float64 `json:"offered_qps"`
+					AchievedQPS float64 `json:"achieved_qps"`
+				} `json:"points"`
+			} `json:"strategies"`
+		}
+		if err := json.Unmarshal(data, &f); err != nil {
+			return "", nil, err
+		}
+		for _, s := range f.Strategies {
+			for _, p := range s.Points {
+				metrics[fmt.Sprintf("%s offered=%g qps", s.Name, p.OfferedQPS)] = p.AchievedQPS
+			}
+		}
+	default:
+		return "", nil, fmt.Errorf("benchdiff: unknown benchmark %q", probe.Benchmark)
+	}
+	if len(metrics) == 0 {
+		return "", nil, fmt.Errorf("benchdiff: %s results carry no metrics", probe.Benchmark)
+	}
+	return probe.Benchmark, metrics, nil
+}
+
+// compare renders a per-metric table and collects the failures: regressions
+// beyond the tolerance and baseline metrics missing from the fresh run.
+// Fresh-only metrics are reported but never fail — they gate once a new
+// baseline commits them.
+func compare(base, fresh map[string]float64, tol float64) (report string, failures []string) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		f, ok := fresh[k]
+		if !ok {
+			report += fmt.Sprintf("  %-28s baseline %10.2f  fresh    MISSING\n", k, b)
+			failures = append(failures, fmt.Sprintf("%s: missing from fresh results", k))
+			continue
+		}
+		status := "ok"
+		ratio := 0.0
+		if b > 0 {
+			ratio = f / b
+			if ratio < 1-tol {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %.2f vs baseline %.2f (%.0f%% of baseline, floor %.0f%%)",
+					k, f, b, ratio*100, (1-tol)*100))
+			}
+		}
+		report += fmt.Sprintf("  %-28s baseline %10.2f  fresh %10.2f  (%3.0f%%)  %s\n", k, b, f, ratio*100, status)
+	}
+	extra := make([]string, 0)
+	for k := range fresh {
+		if _, ok := base[k]; !ok {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		report += fmt.Sprintf("  %-28s baseline    (none)  fresh %10.2f  new metric\n", k, fresh[k])
+	}
+	return report, failures
+}
+
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

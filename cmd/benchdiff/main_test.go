@@ -1,0 +1,156 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const scalingJSON = `{
+  "benchmark": "BenchmarkScaling",
+  "points": [
+    {"threads": 1, "qps": 100.0},
+    {"threads": 4, "qps": 320.0}
+  ]
+}`
+
+const diskJSON = `{
+  "benchmark": "BenchmarkDiskSweep",
+  "points": [
+    {"sched": "fifo", "pages_per_sec": 5000},
+    {"sched": "elevator", "pages_per_sec": 9000}
+  ],
+  "elevator_speedup": 1.8
+}`
+
+const loadJSON = `{
+  "benchmark": "mqload",
+  "strategies": [
+    {"name": "cf", "points": [
+      {"offered_qps": 25, "achieved_qps": 24.8},
+      {"offered_qps": 50, "achieved_qps": 49.1}
+    ]},
+    {"name": "fifo", "points": [
+      {"offered_qps": 25, "achieved_qps": 24.5}
+    ]}
+  ]
+}`
+
+func TestMetricsOfScaling(t *testing.T) {
+	kind, m, err := metricsOf([]byte(scalingJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "BenchmarkScaling" {
+		t.Fatalf("kind %q", kind)
+	}
+	if m["threads=1 qps"] != 100 || m["threads=4 qps"] != 320 {
+		t.Fatalf("metrics %v", m)
+	}
+	if len(m) != 2 {
+		t.Fatalf("want 2 metrics, got %v", m)
+	}
+}
+
+func TestMetricsOfDisk(t *testing.T) {
+	kind, m, err := metricsOf([]byte(diskJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "BenchmarkDiskSweep" {
+		t.Fatalf("kind %q", kind)
+	}
+	if m["sched=fifo pages/sec"] != 5000 || m["sched=elevator pages/sec"] != 9000 {
+		t.Fatalf("metrics %v", m)
+	}
+	if m["elevator speedup"] != 1.8 {
+		t.Fatalf("speedup missing: %v", m)
+	}
+}
+
+func TestMetricsOfLoad(t *testing.T) {
+	kind, m, err := metricsOf([]byte(loadJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "mqload" {
+		t.Fatalf("kind %q", kind)
+	}
+	want := map[string]float64{
+		"cf offered=25 qps":   24.8,
+		"cf offered=50 qps":   49.1,
+		"fifo offered=25 qps": 24.5,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v (all: %v)", k, m[k], v, m)
+		}
+	}
+}
+
+func TestMetricsOfRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not json",
+		`{"benchmark": "mystery"}`,
+		`{"benchmark": "BenchmarkScaling", "points": []}`,
+	} {
+		if _, _, err := metricsOf([]byte(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := map[string]float64{"a": 100, "b": 50}
+	fresh := map[string]float64{"a": 80, "b": 45}
+	report, failures := compare(base, fresh, 0.5)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures %v\n%s", failures, report)
+	}
+	if !strings.Contains(report, "ok") {
+		t.Fatalf("report lacks ok lines:\n%s", report)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := map[string]float64{"a": 100, "b": 50}
+	fresh := map[string]float64{"a": 40, "b": 49}
+	_, failures := compare(base, fresh, 0.5)
+	if len(failures) != 1 || !strings.Contains(failures[0], "a:") {
+		t.Fatalf("want exactly the regression on a, got %v", failures)
+	}
+}
+
+func TestCompareBoundaryIsInclusive(t *testing.T) {
+	// Exactly baseline*(1-tol) passes; only strictly below fails.
+	base := map[string]float64{"a": 100}
+	if _, failures := compare(base, map[string]float64{"a": 50}, 0.5); len(failures) != 0 {
+		t.Fatalf("f == b*(1-tol) should pass, got %v", failures)
+	}
+	if _, failures := compare(base, map[string]float64{"a": 49.99}, 0.5); len(failures) != 1 {
+		t.Fatalf("f < b*(1-tol) should fail, got %v", failures)
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base := map[string]float64{"a": 100, "gone": 10}
+	fresh := map[string]float64{"a": 100}
+	report, failures := compare(base, fresh, 0.5)
+	if len(failures) != 1 || !strings.Contains(failures[0], "gone") {
+		t.Fatalf("missing metric should fail, got %v", failures)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Fatalf("report does not flag the hole:\n%s", report)
+	}
+}
+
+func TestCompareNewMetricIsInformational(t *testing.T) {
+	base := map[string]float64{"a": 100}
+	fresh := map[string]float64{"a": 100, "shiny": 7}
+	report, failures := compare(base, fresh, 0.5)
+	if len(failures) != 0 {
+		t.Fatalf("fresh-only metric must not fail: %v", failures)
+	}
+	if !strings.Contains(report, "shiny") || !strings.Contains(report, "new metric") {
+		t.Fatalf("report omits new metric:\n%s", report)
+	}
+}

@@ -49,6 +49,22 @@ func main() {
 		traceOut = flag.String("trace-out", "", "run one traced configuration and write its span trees as Chrome trace_event JSON to this path (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
+	switch {
+	case flag.NArg() > 0:
+		usageError("unexpected arguments %q", flag.Args())
+	case *clients < 1:
+		usageError("-clients %d: need at least one client", *clients)
+	case *queries < 1:
+		usageError("-queries %d: need at least one query per client", *queries)
+	case *threads < 1:
+		usageError("-threads %d: need at least one query thread", *threads)
+	case *cpus < 1:
+		usageError("-cpus %d: the simulated SMP needs a processor", *cpus)
+	case *disks < 1:
+		usageError("-disks %d: the farm needs a spindle", *disks)
+	case *dumpWl != "" && *loadWl != "":
+		usageError("-dumpworkload and -workload are mutually exclusive")
+	}
 
 	ops, err := parseOps(*opName)
 	if err != nil {
@@ -185,6 +201,12 @@ func writeCSV(dir, id string, op vm.Op, singleOp bool, tb *experiment.Table) err
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mqbench:", err)
 	os.Exit(1)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mqbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 // dumpWorkload writes the workload an experiment would run, for inspection

@@ -14,6 +14,7 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -34,6 +35,22 @@ func main() {
 		think   = flag.Duration("think", 0, "client think time between queries")
 	)
 	flag.Parse()
+	switch {
+	case flag.NArg() > 0:
+		usageError("unexpected arguments %q", flag.Args())
+	case *clients < 1:
+		usageError("-clients %d: need at least one client", *clients)
+	case *queries < 1:
+		usageError("-queries %d: need at least one query per client", *queries)
+	case *side < 1:
+		usageError("-side %d: slide edge must be positive", *side)
+	case *outSide < 1:
+		usageError("-out %d: output edge must be positive", *outSide)
+	case *outSide > *side:
+		usageError("-out %d exceeds -side %d: output cannot outsize the slide", *outSide, *side)
+	case *think < 0:
+		usageError("-think %v: think time cannot be negative", *think)
+	}
 
 	var (
 		mu        sync.Mutex
@@ -107,6 +124,12 @@ func main() {
 	fmt.Printf("latency ms: mean=%.1f trimmed95=%.1f p50=%.1f p95=%.1f max=%.1f\n",
 		s.Mean, s.TrimmedMean, s.P50, s.P95, s.Max)
 	fmt.Printf("mean reuse: %.0f%%\n", reuseSum/float64(count)*100)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mqdriver: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func clamp(v, lo, hi int64) int64 {

@@ -200,11 +200,25 @@ func Run(cfg Config) (Metrics, error) {
 	return RunWorkload(cfg, nil)
 }
 
-// RunWorkload is Run with an explicit workload (per-client query lists,
-// e.g. loaded with driver.LoadWorkload); pass nil to generate from cfg.
-func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
-	cfg = cfg.withDefaults()
+// system is one assembled simulated stack, shared by the workload and load
+// runners.
+type system struct {
+	eng    *sim.Engine
+	rtm    *rt.SimRuntime
+	table  *dataset.Table
+	app    *vm.App
+	farm   *disk.Farm
+	ps     *pagespace.Manager
+	ds     *datastore.Manager
+	graph  *sched.Graph
+	srv    *server.Server
+	spans  *trace.Tracer
+	policy sched.Policy
+}
 
+// assemble builds the full middleware stack on a fresh simulated runtime
+// from a defaulted config.
+func assemble(cfg Config) (*system, error) {
 	eng := sim.New()
 	rtm := rt.NewSim(eng, cfg.CPUs)
 	table := dataset.NewTable(
@@ -248,7 +262,7 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 			},
 		}
 	case !ok:
-		return Metrics{}, fmt.Errorf("experiment: unknown policy %q", cfg.Policy)
+		return nil, fmt.Errorf("experiment: unknown policy %q", cfg.Policy)
 	}
 	var spans *trace.Tracer
 	if cfg.TraceCapacity > 0 {
@@ -263,6 +277,21 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 		Spans:              spans,
 		Metrics:            cfg.Metrics,
 	})
+	return &system{
+		eng: eng, rtm: rtm, table: table, app: app, farm: farm, ps: ps,
+		ds: ds, graph: graph, srv: srv, spans: spans, policy: policy,
+	}, nil
+}
+
+// RunWorkload is Run with an explicit workload (per-client query lists,
+// e.g. loaded with driver.LoadWorkload); pass nil to generate from cfg.
+func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
+	cfg = cfg.withDefaults()
+	sys, err := assemble(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	eng, rtm, farm, graph, srv := sys.eng, sys.rtm, sys.farm, sys.graph, sys.srv
 
 	var mon *monitor.Monitor
 	launchOpts := driver.LaunchOpts{Batch: cfg.Batch}
@@ -293,7 +322,7 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 			Op:               cfg.Op,
 			Seed:             cfg.Seed,
 			Mode:             cfg.Mode,
-		}, table)
+		}, sys.table)
 	}
 	col := driver.Launch(rtm, srv, queries, launchOpts)
 
@@ -326,7 +355,7 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 
 	m := Metrics{
 		Config:          cfg,
-		Policy:          policy.Name(),
+		Policy:          sys.policy.Name(),
 		TrimmedResponse: stats.TrimmedMean95(resp),
 		MeanResponse:    stats.Mean(resp),
 		MeanWait:        stats.Mean(wait),
@@ -339,12 +368,12 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 		DiskUtilization: farm.Utilization(),
 		Server:          srv.Stats(),
 		Disk:            farm.Stats(),
-		PageSpace:       ps.Stats(),
+		PageSpace:       sys.ps.Stats(),
 		Graph:           graph.Stats(),
 		Queries:         len(results),
 	}
-	if ds != nil {
-		m.DataStore = ds.Stats()
+	if sys.ds != nil {
+		m.DataStore = sys.ds.Stats()
 	}
 	if mon != nil {
 		m.MonitorReport = mon.Report(72)
@@ -353,7 +382,7 @@ func RunWorkload(cfg Config, queries [][]vm.Meta) (Metrics, error) {
 		snap := cfg.Metrics.Snapshot()
 		m.Registry = &snap
 	}
-	m.Spans = spans
+	m.Spans = sys.spans
 	return m, nil
 }
 

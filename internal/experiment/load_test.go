@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"mqsched/internal/load"
+	"mqsched/internal/vm"
+)
+
+func loadStream(t *testing.T, rate float64, n int) []load.Item {
+	t.Helper()
+	cfg := Config{}.withDefaults()
+	sys, err := assemble(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return load.Build(load.GenConfig{
+		Users: 100, DatasetZipfS: 1.1, HotspotZipfS: 1.2, UserZipfS: 0.6,
+		OutputSide: 512, Op: vm.Subsample, Seed: 1,
+	}, sys.table, load.ArrivalConfig{Process: load.Poisson, Rate: rate, Seed: 1}, n)
+}
+
+// TestRunLoadDeterministic checks the whole sim-side load pipeline is
+// reproducible: same stream, same config, identical metrics.
+func TestRunLoadDeterministic(t *testing.T) {
+	items := loadStream(t, 50, 120)
+	cfg := Config{Policy: "cnbf", Op: vm.Subsample}
+	a, err := RunLoad(cfg, items, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoad(cfg, items, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two identical runs disagree:\n%+v\n%+v", a, b)
+	}
+	if a.Queries != len(items) {
+		t.Fatalf("completed %d of %d queries", a.Queries, len(items))
+	}
+	if a.Measured >= a.Queries {
+		t.Fatalf("warmup excluded nothing: measured %d of %d", a.Measured, a.Queries)
+	}
+	if a.P50 <= 0 || a.P95 < a.P50 || a.P99 < a.P95 || a.Max < a.P99 {
+		t.Fatalf("percentiles not ordered: %+v", a)
+	}
+	if a.AchievedQPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", a)
+	}
+}
+
+// TestRunLoadOverloadQueues checks the open loop exposes queueing: offered
+// load far beyond capacity must inflate latency relative to a light load,
+// which closed-loop clients structurally cannot show.
+func TestRunLoadOverloadQueues(t *testing.T) {
+	cfg := Config{Policy: "fifo", Op: vm.Subsample, Threads: 2}
+	light, err := RunLoad(cfg, loadStream(t, 2, 40), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := RunLoad(cfg, loadStream(t, 400, 400), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.P95 < 2*light.P95 {
+		t.Errorf("overload p95 %.3fs vs light p95 %.3fs: open loop should expose queueing",
+			heavy.P95, light.P95)
+	}
+}
+
+// TestRunLoadStrategiesDiffer checks the harness distinguishes ranking
+// strategies on the skewed workload (the point of the instrument).
+func TestRunLoadStrategiesDiffer(t *testing.T) {
+	items := loadStream(t, 100, 200)
+	fifo, err := RunLoad(Config{Policy: "fifo", Op: vm.Subsample}, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnbf, err := RunLoad(Config{Policy: "cnbf", Op: vm.Subsample}, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.Policy == cnbf.Policy {
+		t.Fatal("policies not propagated")
+	}
+	if fifo == cnbf {
+		t.Error("fifo and cnbf produced identical metrics on a skewed stream")
+	}
+	if cnbf.MeanReuse <= 0 {
+		t.Errorf("no cache reuse under cnbf on a hotspot-skewed stream: %+v", cnbf)
+	}
+}
+
+// TestRunLoadValidation covers the error paths.
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := RunLoad(Config{}, nil, 0); err == nil {
+		t.Error("empty stream should fail")
+	}
+	items := loadStream(t, 10, 5)
+	if _, err := RunLoad(Config{}, items, -time.Second); err == nil {
+		t.Error("negative warmup should fail")
+	}
+	if _, err := RunLoad(Config{Policy: "nope"}, items, 0); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

@@ -1,0 +1,173 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Process selects the open-loop arrival process.
+type Process int
+
+const (
+	// Constant spaces arrivals exactly 1/Rate apart (deterministic pacing;
+	// the least bursty offered load a rate can produce).
+	Constant Process = iota
+	// Poisson draws exponential inter-arrival gaps with mean 1/Rate — the
+	// memoryless arrivals of independent users.
+	Poisson
+	// Burst is a two-phase Markov-modulated Poisson process: an on-phase of
+	// BurstOn at Rate·BurstFactor alternating with an off-phase of BurstOff
+	// at whatever lower rate keeps the long-run mean equal to Rate. It
+	// models flash crowds and synchronized exploration sessions.
+	Burst
+)
+
+// String implements fmt.Stringer.
+func (p Process) String() string {
+	switch p {
+	case Constant:
+		return "constant"
+	case Poisson:
+		return "poisson"
+	case Burst:
+		return "burst"
+	}
+	return fmt.Sprintf("Process(%d)", int(p))
+}
+
+// ParseProcess parses an arrival-process name.
+func ParseProcess(s string) (Process, error) {
+	switch s {
+	case "constant":
+		return Constant, nil
+	case "poisson":
+		return Poisson, nil
+	case "burst":
+		return Burst, nil
+	}
+	return 0, fmt.Errorf("load: unknown arrival process %q (want constant, poisson, burst)", s)
+}
+
+// ArrivalConfig parameterizes an arrival clock.
+type ArrivalConfig struct {
+	// Process is the arrival process (default Constant).
+	Process Process
+	// Rate is the long-run offered load in queries per second (required,
+	// > 0).
+	Rate float64
+	// BurstFactor is the on-phase rate multiplier for Burst (default 4).
+	BurstFactor float64
+	// BurstOn and BurstOff are the phase lengths for Burst (defaults 1s
+	// and 4s).
+	BurstOn, BurstOff time.Duration
+	// Seed drives the stochastic processes.
+	Seed int64
+}
+
+func (c ArrivalConfig) withDefaults() ArrivalConfig {
+	if c.BurstFactor == 0 {
+		c.BurstFactor = 4
+	}
+	if c.BurstOn == 0 {
+		c.BurstOn = time.Second
+	}
+	if c.BurstOff == 0 {
+		c.BurstOff = 4 * time.Second
+	}
+	return c
+}
+
+// Validate reports the first configuration error.
+func (c ArrivalConfig) Validate() error {
+	if !(c.Rate > 0) {
+		return fmt.Errorf("load: arrival rate %v must be > 0", c.Rate)
+	}
+	c = c.withDefaults()
+	if c.Process == Burst {
+		if c.BurstFactor < 1 {
+			return fmt.Errorf("load: burst factor %v must be >= 1", c.BurstFactor)
+		}
+		if c.BurstOn <= 0 || c.BurstOff < 0 {
+			return fmt.Errorf("load: burst phases on=%v off=%v must be positive", c.BurstOn, c.BurstOff)
+		}
+	}
+	return nil
+}
+
+// Clock generates a monotone sequence of arrival instants for one phase,
+// starting at time zero. It is deterministic in the config's seed.
+type Clock struct {
+	cfg     ArrivalConfig
+	rng     *rand.Rand
+	now     time.Duration
+	offRate float64 // Burst off-phase rate preserving the long-run mean
+}
+
+// NewClock builds a clock; it panics on an invalid config (callers that take
+// user input should Validate first).
+func NewClock(cfg ArrivalConfig) *Clock {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	c := &Clock{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Process == Burst {
+		// Solve f·peak + (1-f)·off = Rate for the off-phase rate, where f is
+		// the on-phase duty cycle; clamp at zero when the factor exceeds 1/f
+		// (then every arrival lands inside a burst).
+		f := cfg.BurstOn.Seconds() / (cfg.BurstOn + cfg.BurstOff).Seconds()
+		off := cfg.Rate * (1 - f*cfg.BurstFactor) / (1 - f)
+		if off < 0 {
+			off = 0
+		}
+		c.offRate = off
+	}
+	return c
+}
+
+// Next returns the next arrival instant (relative to the phase start).
+func (c *Clock) Next() time.Duration {
+	switch c.cfg.Process {
+	case Constant:
+		c.now += time.Duration(float64(time.Second) / c.cfg.Rate)
+	case Poisson:
+		c.now += expGap(c.rng, c.cfg.Rate)
+	case Burst:
+		c.advanceBurst()
+	}
+	return c.now
+}
+
+// advanceBurst steps a piecewise-constant-rate Poisson process. Exponential
+// gaps are memoryless, so a draw that crosses a phase boundary is discarded
+// and redrawn from the boundary at the new phase's rate — the standard
+// restart construction for modulated Poisson processes.
+func (c *Clock) advanceBurst() {
+	cycle := c.cfg.BurstOn + c.cfg.BurstOff
+	for {
+		inCycle := c.now % cycle
+		on := inCycle < c.cfg.BurstOn
+		rate := c.cfg.Rate * c.cfg.BurstFactor
+		boundary := c.now - inCycle + c.cfg.BurstOn
+		if !on {
+			rate = c.offRate
+			boundary = c.now - inCycle + cycle
+		}
+		if rate <= 0 { // silent off-phase: jump to the next burst
+			c.now = boundary
+			continue
+		}
+		gap := expGap(c.rng, rate)
+		if c.now+gap >= boundary {
+			c.now = boundary
+			continue
+		}
+		c.now += gap
+		return
+	}
+}
+
+func expGap(rng *rand.Rand, rate float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}

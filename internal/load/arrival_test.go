@@ -1,0 +1,152 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func gaps(c *Clock, n int) []float64 {
+	out := make([]float64, n)
+	prev := time.Duration(0)
+	for i := range out {
+		next := c.Next()
+		if next <= prev {
+			panic("arrival clock went backwards")
+		}
+		out[i] = (next - prev).Seconds()
+		prev = next
+	}
+	return out
+}
+
+// TestConstantArrivals checks exact spacing.
+func TestConstantArrivals(t *testing.T) {
+	c := NewClock(ArrivalConfig{Process: Constant, Rate: 50})
+	for i, g := range gaps(c, 100) {
+		if math.Abs(g-0.02) > 1e-9 {
+			t.Fatalf("gap %d = %vs, want 0.02s", i, g)
+		}
+	}
+}
+
+// TestPoissonArrivals checks the exponential inter-arrival statistics: mean
+// ≈ 1/rate and coefficient of variation ≈ 1 at a fixed seed.
+func TestPoissonArrivals(t *testing.T) {
+	const rate, n = 200.0, 50000
+	c := NewClock(ArrivalConfig{Process: Poisson, Rate: rate, Seed: 9})
+	gs := gaps(c, n)
+	mean, sd := meanSD(gs)
+	if math.Abs(mean-1/rate)/(1/rate) > 0.03 {
+		t.Errorf("mean gap %.6fs, want %.6fs ±3%%", mean, 1/rate)
+	}
+	if cv := sd / mean; math.Abs(cv-1) > 0.05 {
+		t.Errorf("coefficient of variation %.3f, want ~1 (exponential)", cv)
+	}
+}
+
+// TestBurstArrivals checks the modulated process preserves the long-run
+// mean rate while concentrating arrivals inside the on-phase.
+func TestBurstArrivals(t *testing.T) {
+	cfg := ArrivalConfig{
+		Process: Burst, Rate: 100, BurstFactor: 4,
+		BurstOn: time.Second, BurstOff: 3 * time.Second, Seed: 4,
+	}
+	c := NewClock(cfg)
+	const n = 40000
+	var last time.Duration
+	inBurst := 0
+	for i := 0; i < n; i++ {
+		at := c.Next()
+		if at <= last {
+			t.Fatalf("arrival %d not monotone: %v after %v", i, at, last)
+		}
+		last = at
+		if at%(cfg.BurstOn+cfg.BurstOff) < cfg.BurstOn {
+			inBurst++
+		}
+	}
+	gotRate := float64(n) / last.Seconds()
+	if math.Abs(gotRate-cfg.Rate)/cfg.Rate > 0.05 {
+		t.Errorf("long-run rate %.1f qps, want %.1f ±5%%", gotRate, cfg.Rate)
+	}
+	// Duty cycle 25% at factor 4 ⇒ the on-phase carries all arrivals.
+	if frac := float64(inBurst) / n; frac < 0.95 {
+		t.Errorf("only %.0f%% of arrivals inside bursts, want ~100%%", frac*100)
+	}
+}
+
+// TestBurstPartialOffRate keeps a nonzero off-phase rate when the factor is
+// below 1/duty-cycle, still preserving the mean.
+func TestBurstPartialOffRate(t *testing.T) {
+	cfg := ArrivalConfig{
+		Process: Burst, Rate: 100, BurstFactor: 2,
+		BurstOn: time.Second, BurstOff: time.Second, Seed: 11,
+	}
+	c := NewClock(cfg)
+	const n = 40000
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		last = c.Next()
+	}
+	gotRate := float64(n) / last.Seconds()
+	if math.Abs(gotRate-cfg.Rate)/cfg.Rate > 0.05 {
+		t.Errorf("long-run rate %.1f qps, want %.1f ±5%%", gotRate, cfg.Rate)
+	}
+}
+
+// TestClockDeterministic checks identical configs reproduce identical
+// streams.
+func TestClockDeterministic(t *testing.T) {
+	for _, p := range []Process{Constant, Poisson, Burst} {
+		cfg := ArrivalConfig{Process: p, Rate: 75, Seed: 3}
+		a, b := NewClock(cfg), NewClock(cfg)
+		for i := 0; i < 2000; i++ {
+			if x, y := a.Next(), b.Next(); x != y {
+				t.Fatalf("%v arrival %d: %v vs %v", p, i, x, y)
+			}
+		}
+	}
+}
+
+func TestArrivalValidate(t *testing.T) {
+	bad := []ArrivalConfig{
+		{Process: Poisson, Rate: 0},
+		{Process: Poisson, Rate: -5},
+		{Process: Burst, Rate: 10, BurstFactor: 0.5},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should not validate", cfg)
+		}
+	}
+	if err := (ArrivalConfig{Process: Burst, Rate: 10}).Validate(); err != nil {
+		t.Errorf("defaulted burst config should validate: %v", err)
+	}
+}
+
+func TestParseProcess(t *testing.T) {
+	for name, want := range map[string]Process{"constant": Constant, "poisson": Poisson, "burst": Burst} {
+		got, err := ParseProcess(name)
+		if err != nil || got != want {
+			t.Errorf("ParseProcess(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("%v.String() = %q", got, got.String())
+		}
+	}
+	if _, err := ParseProcess("uniform"); err == nil {
+		t.Error("ParseProcess should reject unknown names")
+	}
+}
+
+func meanSD(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(sd / float64(len(xs)))
+}

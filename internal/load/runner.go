@@ -1,0 +1,220 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mqsched/internal/netproto"
+	"mqsched/internal/stats"
+)
+
+// RunnerConfig configures one open-loop measurement phase against a live
+// server.
+type RunnerConfig struct {
+	// Addr is the mqserver address.
+	Addr string
+	// Workers bounds concurrent in-flight requests and the connection pool
+	// size (default 32).
+	Workers int
+	// QueueCap bounds the arrival buffer between the dispatcher and the
+	// workers (default 65536). In an open loop arrivals never wait for
+	// completions; when the buffer fills, further arrivals are counted as
+	// dropped instead of blocking the clock — the honest overload signal.
+	QueueCap int
+	// Warmup excludes queries arriving before this offset from the
+	// statistics (they still run, heating the caches).
+	Warmup time.Duration
+	// RelErr is the latency sketch's relative error bound (default 0.01).
+	RelErr float64
+	// Record, when non-nil, receives one JSON line per completed query
+	// (ts/seq/user/latency/server timings) for offline analysis.
+	Record io.Writer
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+}
+
+func (c RunnerConfig) withDefaults() RunnerConfig {
+	if c.Workers == 0 {
+		c.Workers = 32
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 65536
+	}
+	if c.RelErr == 0 {
+		c.RelErr = 0.01
+	}
+	return c
+}
+
+// Validate reports the first configuration error.
+func (c RunnerConfig) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case c.Addr == "":
+		return fmt.Errorf("load: runner needs a server address")
+	case d.Workers < 1:
+		return fmt.Errorf("load: workers %d < 1", c.Workers)
+	case d.QueueCap < 1:
+		return fmt.Errorf("load: queue capacity %d < 1", c.QueueCap)
+	case c.Warmup < 0:
+		return fmt.Errorf("load: warmup %v < 0", c.Warmup)
+	case !(d.RelErr > 0 && d.RelErr < 1):
+		return fmt.Errorf("load: sketch relative error %v outside (0, 1)", c.RelErr)
+	}
+	return nil
+}
+
+// Result summarizes one phase. Latency statistics cover only measured
+// (post-warmup) completions.
+type Result struct {
+	// Offered is the configured arrival rate in queries/sec.
+	Offered float64
+	// Sent counts queries handed to workers; Dropped counts arrivals that
+	// found the queue full (overload); Errors counts transport or server
+	// errors.
+	Sent, Dropped, Errors int
+	// Completed counts successful responses; Measured is the post-warmup
+	// subset the statistics describe.
+	Completed, Measured int
+	// Elapsed is the wall time of the whole phase; MeasuredTime is the
+	// post-warmup portion.
+	Elapsed, MeasuredTime time.Duration
+	// AchievedQPS is Measured / MeasuredTime — the served throughput at
+	// this offered load.
+	AchievedQPS float64
+	// Latency is the streaming sketch of measured latencies in
+	// milliseconds.
+	Latency *stats.Sketch
+	// MeanReuse is the mean server-reported reused fraction of measured
+	// queries.
+	MeanReuse float64
+}
+
+// record is one per-query JSONL line for offline analysis (mqviz).
+type record struct {
+	Seq     int     `json:"seq"`
+	User    int     `json:"user"`
+	AtMS    float64 `json:"at_ms"`   // scheduled arrival offset
+	LatMS   float64 `json:"lat_ms"`  // client-observed latency
+	WaitMS  float64 `json:"wait_ms"` // server-reported queueing delay
+	Reused  float64 `json:"reused"`
+	Err     string  `json:"err,omitempty"`
+	Warmup  bool    `json:"warmup,omitempty"`
+	Offered float64 `json:"offered_qps"`
+}
+
+// Run offers the stream to the server at its recorded arrival instants and
+// collects per-phase statistics. offered is recorded in the result and the
+// JSONL lines; it does not re-time the stream.
+func Run(cfg RunnerConfig, items []Item, offered float64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+
+	pool := netproto.NewPool(cfg.Addr, cfg.Workers, cfg.DialTimeout)
+	defer pool.Close()
+	// Fail fast if the server is unreachable, before starting the clock.
+	if _, err := pool.Get().Do(&netproto.Request{Verb: netproto.VerbMetrics}); err != nil {
+		return Result{}, fmt.Errorf("load: probing %s: %w", cfg.Addr, err)
+	}
+
+	res := Result{Offered: offered, Latency: stats.NewSketch(cfg.RelErr)}
+	queue := make(chan Item, cfg.QueueCap)
+	var (
+		mu        sync.Mutex // guards res counters + record writer
+		reuseSum  float64
+		wg        sync.WaitGroup
+		recordEnc *json.Encoder
+	)
+	if cfg.Record != nil {
+		recordEnc = json.NewEncoder(cfg.Record)
+	}
+
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sk := stats.NewSketch(cfg.RelErr) // shard; merged at the end
+			for it := range queue {
+				req := &netproto.Request{
+					Slide: it.Meta.DS,
+					X0:    it.Meta.Rect.X0, Y0: it.Meta.Rect.Y0,
+					X1: it.Meta.Rect.X1, Y1: it.Meta.Rect.Y1,
+					Zoom: it.Meta.Zoom, Op: it.Meta.Op.String(),
+					OmitPixels: true,
+				}
+				t0 := time.Now()
+				resp, err := pool.Get().Do(req)
+				lat := time.Since(t0)
+				if err == nil && resp.Err != "" {
+					err = fmt.Errorf("%s", resp.Err)
+				}
+				measured := err == nil && it.At >= cfg.Warmup
+				if measured {
+					sk.Add(float64(lat.Microseconds()) / 1000)
+				}
+				mu.Lock()
+				if err != nil {
+					res.Errors++
+				} else {
+					res.Completed++
+					if measured {
+						res.Measured++
+						reuseSum += resp.ReusedFrac
+					}
+				}
+				if recordEnc != nil {
+					rec := record{
+						Seq: it.Seq, User: it.User,
+						AtMS:    float64(it.At.Microseconds()) / 1000,
+						LatMS:   float64(lat.Microseconds()) / 1000,
+						Warmup:  it.At < cfg.Warmup,
+						Offered: offered,
+					}
+					if err != nil {
+						rec.Err = err.Error()
+					} else {
+						rec.WaitMS = resp.WaitMS
+						rec.Reused = resp.ReusedFrac
+					}
+					recordEnc.Encode(&rec)
+				}
+				mu.Unlock()
+			}
+			mu.Lock()
+			res.Latency.Merge(sk)
+			mu.Unlock()
+		}()
+	}
+
+	// The open-loop dispatcher: release each arrival at its instant,
+	// regardless of how far behind the workers are.
+	for _, it := range items {
+		if d := it.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case queue <- it:
+			res.Sent++
+		default:
+			res.Dropped++
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	res.MeasuredTime = res.Elapsed - cfg.Warmup
+	if res.MeasuredTime > 0 {
+		res.AchievedQPS = float64(res.Measured) / res.MeasuredTime.Seconds()
+	}
+	if res.Measured > 0 {
+		res.MeanReuse = reuseSum / float64(res.Measured)
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mqsched"
+	"mqsched/internal/dataset"
+	"mqsched/internal/netproto"
+	"mqsched/internal/vm"
+)
+
+// testTable4k mirrors the live test server's slide table.
+func testTable4k() *dataset.Table {
+	return dataset.NewTable(
+		vm.NewSlide("slide1", 4096, 4096),
+		vm.NewSlide("slide2", 4096, 4096),
+		vm.NewSlide("slide3", 4096, 4096),
+	)
+}
+
+// liveServer starts a real-mode system serving netproto on a loopback port.
+func liveServer(t *testing.T) string {
+	t.Helper()
+	sys, err := mqsched.New(mqsched.Config{
+		Mode:      mqsched.Real,
+		Policy:    "cnbf",
+		Threads:   4,
+		TimeScale: 0.0005,
+	}, mqsched.NewSlideTable(
+		mqsched.Slide{Name: "slide1", Width: 4096, Height: 4096},
+		mqsched.Slide{Name: "slide2", Width: 4096, Height: 4096},
+		mqsched.Slide{Name: "slide3", Width: 4096, Height: 4096},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go netproto.Serve(l, sys, func(string, ...any) {})
+	return l.Addr().String()
+}
+
+// TestRunnerOpenLoop drives a short generated stream against a live server
+// and checks the phase accounting: everything sent, measured subset
+// excludes warmup, latency sketch populated, records written.
+func TestRunnerOpenLoop(t *testing.T) {
+	addr := liveServer(t)
+	table := testTable4k()
+	cfg := testGenConfig()
+	cfg.OutputSide = 64
+	const rate = 200.0
+	items := Build(cfg, table, ArrivalConfig{Process: Poisson, Rate: rate, Seed: 1}, 120)
+
+	var records bytes.Buffer
+	warmup := 100 * time.Millisecond
+	res, err := Run(RunnerConfig{
+		Addr: addr, Workers: 8, Warmup: warmup, Record: &records,
+	}, items, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != len(items) || res.Dropped != 0 {
+		t.Fatalf("sent %d dropped %d of %d", res.Sent, res.Dropped, len(items))
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Completed != len(items) {
+		t.Fatalf("completed %d of %d", res.Completed, len(items))
+	}
+	if res.Measured == 0 || res.Measured >= res.Completed {
+		t.Fatalf("measured %d of %d: warmup exclusion broken", res.Measured, res.Completed)
+	}
+	if res.Latency.Count() != res.Measured {
+		t.Fatalf("sketch holds %d samples, measured %d", res.Latency.Count(), res.Measured)
+	}
+	if p50, p99 := res.Latency.Quantile(50), res.Latency.Quantile(99); !(p50 > 0 && p99 >= p50) {
+		t.Fatalf("latency quantiles p50=%v p99=%v", p50, p99)
+	}
+	if res.AchievedQPS <= 0 {
+		t.Fatalf("achieved qps %v", res.AchievedQPS)
+	}
+
+	// One JSONL record per completion, warmup flagged, offered stamped.
+	lines := strings.Split(strings.TrimSpace(records.String()), "\n")
+	if len(lines) != res.Completed {
+		t.Fatalf("%d records for %d completions", len(lines), res.Completed)
+	}
+	warm := 0
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad record %q: %v", ln, err)
+		}
+		if rec["offered_qps"].(float64) != rate {
+			t.Fatalf("record missing offered rate: %q", ln)
+		}
+		if w, _ := rec["warmup"].(bool); w {
+			warm++
+		}
+	}
+	if warm != res.Completed-res.Measured {
+		t.Fatalf("%d warmup records, want %d", warm, res.Completed-res.Measured)
+	}
+}
+
+// TestRunnerUnreachableServer fails fast with a clear error.
+func TestRunnerUnreachableServer(t *testing.T) {
+	items := Build(testGenConfig(), testTable4k(), ArrivalConfig{Process: Constant, Rate: 10}, 3)
+	_, err := Run(RunnerConfig{Addr: "127.0.0.1:1", DialTimeout: 200 * time.Millisecond}, items, 10)
+	if err == nil || !strings.Contains(err.Error(), "probing") {
+		t.Fatalf("want probe error, got %v", err)
+	}
+}
+
+func TestRunnerConfigValidate(t *testing.T) {
+	bad := []RunnerConfig{
+		{},
+		{Addr: "x", Workers: -1},
+		{Addr: "x", Warmup: -time.Second},
+		{Addr: "x", RelErr: 2},
+		{Addr: "x", QueueCap: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should not validate", cfg)
+		}
+	}
+	if err := (RunnerConfig{Addr: "localhost:9123"}).Validate(); err != nil {
+		t.Errorf("defaulted config should validate: %v", err)
+	}
+}

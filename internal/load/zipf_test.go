@@ -1,0 +1,81 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfDistributionShape draws a large fixed-seed sample and checks the
+// empirical rank frequencies against the exact probabilities.
+func TestZipfDistributionShape(t *testing.T) {
+	const n, draws = 10, 200000
+	for _, s := range []float64{0, 0.8, 1.0, 1.5} {
+		z := NewZipf(rand.New(rand.NewSource(42)), s, n)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		for k := 0; k < n; k++ {
+			emp := float64(counts[k]) / draws
+			exp := z.Prob(k)
+			if math.Abs(emp-exp) > 0.01 {
+				t.Errorf("s=%v rank %d: empirical %.4f, exact %.4f", s, k, emp, exp)
+			}
+		}
+		// Skewed draws must be rank-ordered: rank 0 strictly most popular.
+		if s > 0 && !(counts[0] > counts[n/2] && counts[n/2] > counts[n-1]) {
+			t.Errorf("s=%v counts not decreasing: %v", s, counts)
+		}
+	}
+}
+
+// TestZipfProbSumsToOne checks the exposed probabilities form a
+// distribution.
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1.2, 37)
+	sum := 0.0
+	for k := 0; k < z.N(); k++ {
+		sum += z.Prob(k)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+// TestZipfUniformWhenSZero checks s = 0 degenerates to uniform.
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(7)), 0, 4)
+	for k := 0; k < 4; k++ {
+		if math.Abs(z.Prob(k)-0.25) > 1e-12 {
+			t.Fatalf("rank %d prob %v, want 0.25", k, z.Prob(k))
+		}
+	}
+}
+
+// TestZipfDeterministic checks identical seeds reproduce identical draws.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(rand.New(rand.NewSource(5)), 1.1, 100)
+	b := NewZipf(rand.New(rand.NewSource(5)), 1.1, 100)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(rand.New(rand.NewSource(1)), 1, 0) },
+		func() { NewZipf(rand.New(rand.NewSource(1)), -0.5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,112 @@
+package netproto
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer answers every request with its verb in Response.Metrics. When
+// dropAfter > 0, the server closes each connection after that many
+// responses, exercising the client's reconnect path.
+func echoServer(t *testing.T, dropAfter int) (addr string, conns *atomic.Int64) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	conns = new(atomic.Int64)
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func() {
+				defer nc.Close()
+				c := NewConn(nc)
+				for served := 0; dropAfter <= 0 || served < dropAfter; served++ {
+					req, err := c.ReadRequest()
+					if err != nil {
+						return
+					}
+					if err := c.WriteResponse(&Response{Metrics: req.Verb}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String(), conns
+}
+
+func TestClientLazyDialAndDo(t *testing.T) {
+	addr, conns := echoServer(t, 0)
+	c := NewClient(addr, time.Second)
+	defer c.Close()
+	if conns.Load() != 0 {
+		t.Fatal("client dialed before first Do")
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := c.Do(&Request{Verb: VerbMetrics})
+		if err != nil || resp.Metrics != VerbMetrics {
+			t.Fatalf("Do %d: %v, %+v", i, err, resp)
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("expected 1 connection for 3 requests, server saw %d", got)
+	}
+}
+
+// TestClientReconnects drops the server side of the connection after every
+// response; each following Do must transparently redial.
+func TestClientReconnects(t *testing.T) {
+	addr, conns := echoServer(t, 1)
+	c := NewClient(addr, time.Second)
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		resp, err := c.Do(&Request{Verb: VerbMetrics})
+		if err != nil || resp.Metrics != VerbMetrics {
+			t.Fatalf("Do %d after drop: %v, %+v", i, err, resp)
+		}
+	}
+	if got := conns.Load(); got < 2 {
+		t.Fatalf("expected reconnects, server saw %d connections", got)
+	}
+}
+
+func TestClientDialError(t *testing.T) {
+	c := NewClient("127.0.0.1:1", 200*time.Millisecond) // reserved port, nothing listens
+	defer c.Close()
+	if _, err := c.Do(&Request{Verb: VerbMetrics}); err == nil {
+		t.Fatal("Do against a dead address should fail")
+	}
+}
+
+func TestPoolRoundRobin(t *testing.T) {
+	addr, conns := echoServer(t, 0)
+	p := NewPool(addr, 4, time.Second)
+	defer p.Close()
+	if p.Size() != 4 {
+		t.Fatalf("pool size %d", p.Size())
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := p.Get().Do(&Request{Verb: VerbMetrics}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := conns.Load(); got != 4 {
+		t.Fatalf("12 requests over a 4-client pool should open 4 connections, saw %d", got)
+	}
+}
+
+func TestPoolMinimumSize(t *testing.T) {
+	p := NewPool("127.0.0.1:1", 0, time.Second)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("pool size %d, want clamped to 1", p.Size())
+	}
+}
