@@ -3,12 +3,15 @@
 // when any throughput metric regresses beyond the tolerance, turning the
 // previously upload-only artifacts into a pass/fail check.
 //
-// It understands the three result formats the repository commits:
+// It understands the four result formats the repository commits:
 // BENCH_scaling.json (BenchmarkScaling: qps per thread count),
 // BENCH_disk.json (BenchmarkDiskSweep: pages/sec per discipline plus the
-// elevator speedup), and BENCH_load.json (mqload: achieved qps per strategy
-// and offered rate). Only higher-is-better throughput metrics are gated —
-// absolute latencies vary too much across runner hardware to compare.
+// elevator speedup), BENCH_load.json (mqload: achieved qps per strategy and
+// offered rate), and BENCH_kernels.json (the {vm, vol, large_query} kernel
+// composite; only the opt-vs-ref speedup ratios are gated — absolute MB/s
+// varies too much across runner hardware). Only higher-is-better metrics are
+// gated — absolute latencies vary too much across runner hardware to
+// compare.
 //
 // Usage:
 //
@@ -135,6 +138,10 @@ func metricsOf(data []byte) (kind string, metrics map[string]float64, err error)
 				metrics[fmt.Sprintf("%s offered=%g qps", s.Name, p.OfferedQPS)] = p.AchievedQPS
 			}
 		}
+	case "":
+		// No top-level benchmark key: the kernels composite
+		// ({vm, vol, large_query}) CI assembles with jq.
+		return kernelsMetrics(data)
 	default:
 		return "", nil, fmt.Errorf("benchdiff: unknown benchmark %q", probe.Benchmark)
 	}
@@ -142,6 +149,49 @@ func metricsOf(data []byte) (kind string, metrics map[string]float64, err error)
 		return "", nil, fmt.Errorf("benchdiff: %s results carry no metrics", probe.Benchmark)
 	}
 	return probe.Benchmark, metrics, nil
+}
+
+// kernelsMetrics parses the BENCH_kernels.json composite. Speedup ratios
+// (optimised vs reference kernel on the same machine) are
+// hardware-normalized, so they gate; raw MB/s does not.
+func kernelsMetrics(data []byte) (string, map[string]float64, error) {
+	type kernelSet struct {
+		Kernels []struct {
+			Kernel  string  `json:"kernel"`
+			Speedup float64 `json:"speedup"`
+		} `json:"kernels"`
+	}
+	var f struct {
+		VM         kernelSet `json:"vm"`
+		Vol        kernelSet `json:"vol"`
+		LargeQuery struct {
+			Points []struct {
+				Op      string  `json:"op"`
+				Workers int     `json:"workers"`
+				Speedup float64 `json:"speedup"`
+			} `json:"points"`
+		} `json:"large_query"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return "", nil, err
+	}
+	metrics := map[string]float64{}
+	for _, k := range append(f.VM.Kernels, f.Vol.Kernels...) {
+		if k.Kernel != "" && k.Speedup > 0 {
+			metrics[k.Kernel+" speedup"] = k.Speedup
+		}
+	}
+	for _, p := range f.LargeQuery.Points {
+		// workers=1 is the definition point (speedup 1 by construction);
+		// gating it would only test the division.
+		if p.Workers > 1 && p.Speedup > 0 {
+			metrics[fmt.Sprintf("large_query/%s workers=%d speedup", p.Op, p.Workers)] = p.Speedup
+		}
+	}
+	if len(metrics) == 0 {
+		return "", nil, fmt.Errorf("benchdiff: no benchmark key and no kernel composite content")
+	}
+	return "kernels", metrics, nil
 }
 
 // compare renders a per-metric table and collects the failures: regressions

@@ -87,11 +87,75 @@ func TestMetricsOfLoad(t *testing.T) {
 	}
 }
 
+const kernelsJSON = `{
+  "vm": {
+    "benchmark": "BenchmarkKernels",
+    "kernels": [
+      {"kernel": "vm/subsample/zoom4", "ref_mb_per_s": 11000, "opt_mb_per_s": 33000, "speedup": 3.0},
+      {"kernel": "vm/average/zoom4", "ref_mb_per_s": 337, "opt_mb_per_s": 1284, "speedup": 3.8}
+    ]
+  },
+  "vol": {
+    "benchmark": "BenchmarkVolKernels",
+    "kernels": [
+      {"kernel": "vol/accum/zoom4", "ref_mb_per_s": 135, "opt_mb_per_s": 391, "speedup": 2.9}
+    ]
+  },
+  "large_query": {
+    "benchmark": "BenchmarkLargeQueryParallel",
+    "points": [
+      {"op": "subsample", "workers": 1, "sec_per_query": 1.02, "speedup": 1},
+      {"op": "subsample", "workers": 4, "sec_per_query": 0.128, "speedup": 7.98}
+    ]
+  }
+}`
+
+func TestMetricsOfKernelsComposite(t *testing.T) {
+	kind, m, err := metricsOf([]byte(kernelsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "kernels" {
+		t.Fatalf("kind %q", kind)
+	}
+	want := map[string]float64{
+		"vm/subsample/zoom4 speedup":              3.0,
+		"vm/average/zoom4 speedup":                3.8,
+		"vol/accum/zoom4 speedup":                 2.9,
+		"large_query/subsample workers=4 speedup": 7.98,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+	// Only the speedup ratios gate: no MB/s, no workers=1 anchor.
+	if len(m) != len(want) {
+		t.Fatalf("want %d metrics, got %v", len(want), m)
+	}
+}
+
+// TestMetricsOfCommittedKernels: the committed baseline itself parses — the
+// gate cannot silently skip it.
+func TestMetricsOfCommittedKernels(t *testing.T) {
+	kind, m, err := metricsOfFile("../../BENCH_kernels.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "kernels" {
+		t.Fatalf("kind %q", kind)
+	}
+	if len(m) < 8 {
+		t.Fatalf("committed baseline has %d gated metrics, want >= 8: %v", len(m), m)
+	}
+}
+
 func TestMetricsOfRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"not json",
 		`{"benchmark": "mystery"}`,
 		`{"benchmark": "BenchmarkScaling", "points": []}`,
+		`{"vm": {"kernels": []}, "vol": {"kernels": []}}`,
 	} {
 		if _, _, err := metricsOf([]byte(bad)); err == nil {
 			t.Errorf("accepted %q", bad)

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"mqsched"
 	"mqsched/internal/disk"
 	"mqsched/internal/driver"
 	"mqsched/internal/experiment"
@@ -41,6 +42,7 @@ func main() {
 		ioDelay  = flag.Int("io-maxdelay", 0, "elevator starvation bound in bypassing dispatches (0 = default 8, negative = unbounded)")
 		psPre    = flag.Int("psprefetch", 0, "cap on concurrent background page prefetches (0 = 2x spindles, negative = unlimited)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		slideSz  = flag.Int64("slide-side", 0, "slide edge in pixels (0 = the paper's 30000); small values keep -trace-out captures compact")
 		csvDir   = flag.String("csv", "", "directory to write CSV copies of each table")
 		dumpWl   = flag.String("dumpworkload", "", "write the generated workload (both ops) as JSON to this path and exit")
 		loadWl   = flag.String("workload", "", "replay a saved workload (JSON) through a single run instead of an experiment sweep")
@@ -84,6 +86,7 @@ func main() {
 		IOBatchPages:       *ioBatch,
 		IOMaxDelay:         *ioDelay,
 		Seed:               *seed,
+		SlideSide:          *slideSz,
 		PSPrefetchLimit:    *psPre,
 		ComputeParallelism: *computeW,
 	}
@@ -283,7 +286,7 @@ func replayWorkload(path string, base experiment.Config, policy string, op vm.Op
 		if err != nil {
 			return err
 		}
-		if err := m.Spans.WriteChrome(f); err != nil {
+		if err := m.Spans.WriteChromeInfo(f, mqsched.BuildInfo()); err != nil {
 			f.Close()
 			return err
 		}

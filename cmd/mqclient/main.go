@@ -1,11 +1,14 @@
 // Command mqclient sends one Virtual Microscope query to a running mqserver
 // and writes the answer image as a PNG. With -slowlog it instead streams the
-// server's slow-query span trees (TRACE verb) until interrupted.
+// server's slow-query span trees (TRACE verb) until interrupted; with
+// -trace-dump it fetches the server's retained span ring as Chrome
+// trace_event JSON for chrome://tracing, Perfetto, or mqviz.
 //
 // Usage:
 //
 //	mqclient -addr localhost:9123 -slide slide1 -window 1024,1024,5120,5120 -zoom 4 -op average -o view.png
 //	mqclient -addr localhost:9123 -slowlog
+//	mqclient -addr localhost:9123 -trace-dump run.json
 package main
 
 import (
@@ -32,12 +35,20 @@ func main() {
 		op      = flag.String("op", "subsample", "processing function: subsample or average")
 		out     = flag.String("o", "view.png", "output PNG path ('' to skip)")
 		slowlog = flag.Bool("slowlog", false, "stream the server's slow-query span trees instead of querying (needs mqserver -slowlog/-slowlog-pct)")
+		dump    = flag.String("trace-dump", "", "fetch the server's span ring as Chrome trace_event JSON, write it to this path, and exit ('-' for stdout)")
 	)
 	flag.Parse()
 
 	coords, err := parseWindow(*window)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *dump != "" {
+		if err := dumpTrace(*addr, *dump); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	nc, err := net.Dial("tcp", *addr)
@@ -81,6 +92,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// dumpTrace snapshots the server's span ring over the TRACE verb and writes
+// the Chrome trace_event JSON to path.
+func dumpTrace(addr, path string) error {
+	c := netproto.NewClient(addr, 0)
+	defer c.Close()
+	data, err := c.TraceChromeDump()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d bytes of trace JSON to %s\n", len(data), path)
+	return nil
 }
 
 // streamSlowLog polls the server's slow-query log over the TRACE verb,

@@ -129,7 +129,7 @@ func metricsMux(reg *metrics.Registry, spans *trace.Tracer) *http.ServeMux {
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := spans.WriteChrome(w); err != nil {
+		if err := spans.WriteChromeInfo(w, mqsched.BuildInfo()); err != nil {
 			log.Printf("mqserver: /trace write: %v", err)
 		}
 	})

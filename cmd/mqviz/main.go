@@ -1,0 +1,328 @@
+// Command mqviz is the scheduling-analytics server over the span tracer: it
+// loads trace collections (Chrome trace_event JSON written by
+// mqbench -trace-out, mqserver's /trace endpoint, or mqclient -trace-dump),
+// reconstructs them with internal/traceviz, and serves JSON analytics plus a
+// framework-free HTML/canvas UI — per-spindle and per-worker utilization
+// heatmaps, queue-depth and wait-time timelines, per-strategy latency
+// breakdowns, and interval-aligned A/B diffs of two runs.
+//
+// Usage:
+//
+//	mqviz -load runs/fifo.json -load runs/cnbf.json
+//	mqviz -attach http://localhost:9124 -load baseline.json
+//
+// Endpoints (all GET, all JSON):
+//
+//	/api/collections                      loaded collections with build info
+//	/api/queries?collection=N             per-query records with phase splits
+//	/api/intervals?collection=N[&kind=K]  typed intervals (wait/exec/io/...)
+//	/api/utilization?collection=N         spindle/worker busy heatmap
+//	/api/timelines?collection=N           queue depth, wait, arrival curves
+//	/api/breakdown?collection=N           per-strategy latency decomposition
+//	/api/diff?a=N&b=M                     interval-aligned A/B comparison
+//
+// A collection attached with -attach is re-snapshotted from the live server
+// when it is older than -refresh at query time.
+package main
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mqsched/internal/traceviz"
+)
+
+//go:embed static
+var staticFS embed.FS
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:9300", "HTTP listen address")
+		buckets = flag.Int("buckets", traceviz.DefaultBuckets, "default time buckets for heatmaps and timelines")
+		attach  = flag.String("attach", "", "base URL of a running mqserver metrics listener (e.g. http://localhost:9124); its /trace ring is loaded as collection \"live\"")
+		refresh = flag.Duration("refresh", 5*time.Second, "re-snapshot an attached server when its collection is older than this")
+	)
+	var loads []string
+	flag.Func("load", "trace JSON file to load as a collection (repeatable; the file stem names it)", func(path string) error {
+		loads = append(loads, path)
+		return nil
+	})
+	flag.Parse()
+
+	srv := newServer(*buckets)
+	for _, path := range loads {
+		if err := srv.loadFile(path); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *attach != "" {
+		srv.attachLive(strings.TrimRight(*attach, "/"), *refresh)
+		if err := srv.refreshLive(); err != nil {
+			log.Fatalf("mqviz: attach %s: %v", *attach, err)
+		}
+	}
+	if len(srv.names) == 0 {
+		fmt.Fprintln(os.Stderr, "mqviz: nothing to serve; pass -load FILE and/or -attach URL")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.Printf("mqviz: serving %d collection(s) on http://%s", len(srv.names), *addr)
+	for _, name := range srv.names {
+		c := srv.collections[name]
+		log.Printf("  %s: %d queries, %d spindles, %d workers, %.2fs span",
+			name, len(c.Queries), len(c.Spindles), len(c.Threads), c.Span)
+	}
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+}
+
+// server holds the loaded collections and the attach configuration. All
+// analytics are pure functions of the collections; the only mutable state is
+// the live collection's periodic re-snapshot.
+type server struct {
+	buckets int
+
+	mu          sync.RWMutex
+	names       []string // insertion order, for stable /api/collections
+	collections map[string]*traceviz.Collection
+
+	liveURL     string
+	liveRefresh time.Duration
+	liveLoaded  time.Time
+}
+
+func newServer(buckets int) *server {
+	return &server{buckets: buckets, collections: map[string]*traceviz.Collection{}}
+}
+
+// loadFile loads one trace file; the file stem (deduplicated with a numeric
+// suffix) names the collection.
+func (s *server) loadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("mqviz: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	base := name
+	for i := 2; s.collections[name] != nil; i++ {
+		name = fmt.Sprintf("%s-%d", base, i)
+	}
+	c, err := traceviz.Load(name, f)
+	if err != nil {
+		return err
+	}
+	s.add(c)
+	return nil
+}
+
+func (s *server) add(c *traceviz.Collection) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.collections[c.Name]; !ok {
+		s.names = append(s.names, c.Name)
+	}
+	s.collections[c.Name] = c
+}
+
+func (s *server) attachLive(url string, refresh time.Duration) {
+	s.liveURL = url
+	s.liveRefresh = refresh
+}
+
+// refreshLive snapshots the attached server's span ring into the "live"
+// collection.
+func (s *server) refreshLive() error {
+	resp, err := http.Get(s.liveURL + "/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s/trace: %s", s.liveURL, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	c, err := traceviz.Load("live", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	s.add(c)
+	s.mu.Lock()
+	s.liveLoaded = time.Now()
+	s.mu.Unlock()
+	return nil
+}
+
+// get resolves a collection by name, re-snapshotting a stale live
+// collection first.
+func (s *server) get(name string) (*traceviz.Collection, error) {
+	s.mu.RLock()
+	stale := name == "live" && s.liveURL != "" && time.Since(s.liveLoaded) > s.liveRefresh
+	c := s.collections[name]
+	s.mu.RUnlock()
+	if stale {
+		if err := s.refreshLive(); err != nil {
+			return nil, fmt.Errorf("refresh live: %w", err)
+		}
+		s.mu.RLock()
+		c = s.collections[name]
+		s.mu.RUnlock()
+	}
+	if c == nil {
+		return nil, fmt.Errorf("unknown collection %q", name)
+	}
+	return c, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/collections", s.handleCollections)
+	mux.HandleFunc("/api/queries", s.withCollection(func(c *traceviz.Collection, r *http.Request) (any, error) {
+		return c.Queries, nil
+	}))
+	mux.HandleFunc("/api/intervals", s.withCollection(func(c *traceviz.Collection, r *http.Request) (any, error) {
+		kind := r.FormValue("kind")
+		if kind == "" {
+			return c.Intervals, nil
+		}
+		out := []traceviz.Interval{}
+		for _, iv := range c.Intervals {
+			if iv.Kind == kind {
+				out = append(out, iv)
+			}
+		}
+		return out, nil
+	}))
+	mux.HandleFunc("/api/utilization", s.withCollection(func(c *traceviz.Collection, r *http.Request) (any, error) {
+		return traceviz.Utilization(c, s.bucketsOf(r)), nil
+	}))
+	mux.HandleFunc("/api/timelines", s.withCollection(func(c *traceviz.Collection, r *http.Request) (any, error) {
+		return traceviz.ComputeTimelines(c, s.bucketsOf(r)), nil
+	}))
+	mux.HandleFunc("/api/breakdown", s.withCollection(func(c *traceviz.Collection, r *http.Request) (any, error) {
+		return traceviz.Breakdown(c), nil
+	}))
+	mux.HandleFunc("/api/diff", s.handleDiff)
+
+	static, err := fs.Sub(staticFS, "static")
+	if err != nil {
+		panic(err)
+	}
+	mux.Handle("/", http.FileServer(http.FS(static)))
+	return mux
+}
+
+// CollectionSummary is one /api/collections row: enough for the client to
+// build its header and pickers without fetching every view.
+type CollectionSummary struct {
+	Name      string            `json:"name"`
+	Info      map[string]string `json:"info,omitempty"`
+	Dropped   uint64            `json:"dropped"`
+	Span      float64           `json:"span"`
+	Queries   int               `json:"queries"`
+	Truncated int               `json:"truncated"`
+	Spindles  []string          `json:"spindles"`
+	Threads   []string          `json:"threads"`
+	Live      bool              `json:"live"`
+}
+
+func (s *server) handleCollections(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := append([]string(nil), s.names...)
+	s.mu.RUnlock()
+	out := []CollectionSummary{}
+	for _, name := range names {
+		c, err := s.get(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		sum := CollectionSummary{
+			Name: c.Name, Info: c.Info, Dropped: c.Dropped, Span: c.Span,
+			Queries: len(c.Queries), Spindles: c.Spindles, Threads: c.Threads,
+			Live: name == "live" && s.liveURL != "",
+		}
+		for _, q := range c.Queries {
+			if q.Truncated {
+				sum.Truncated++
+			}
+		}
+		out = append(out, sum)
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	a, err := s.get(r.FormValue("a"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	b, err := s.get(r.FormValue("b"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, traceviz.Diff(a, b))
+}
+
+// withCollection wraps a view handler with collection resolution and JSON
+// encoding.
+func (s *server) withCollection(view func(*traceviz.Collection, *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c, err := s.get(r.FormValue("collection"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		v, err := view(c, r)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, v)
+	}
+}
+
+func (s *server) bucketsOf(r *http.Request) int {
+	if v := r.FormValue("buckets"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 4096 {
+			return n
+		}
+	}
+	return s.buckets
+}
+
+// writeJSON emits indented JSON with a trailing newline — byte-stable for
+// golden files and curl-friendly.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

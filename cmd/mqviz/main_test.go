@@ -1,0 +1,309 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mqsched"
+	"mqsched/internal/netproto"
+	"mqsched/internal/traceviz"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current responses")
+
+// newTestServer loads the two committed sample traces shared with
+// internal/traceviz.
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	s := newServer(24)
+	for _, name := range []string{"sample_fifo", "sample_cnbf"} {
+		path := filepath.Join("..", "..", "internal", "traceviz", "testdata", name+".json")
+		if err := s.loadFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./cmd/mqviz -update')", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from %s; run 'go test ./cmd/mqviz -update' and review", name, path)
+	}
+}
+
+// TestAPIGoldens pins every /api endpoint's response for the committed
+// samples byte-for-byte. CI additionally curls a live mqviz against the same
+// golden for /api/utilization.
+func TestAPIGoldens(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t).mux())
+	defer ts.Close()
+
+	cases := []struct{ name, path string }{
+		{"collections", "/api/collections"},
+		{"queries_fifo", "/api/queries?collection=sample_fifo"},
+		{"intervals_wait_fifo", "/api/intervals?collection=sample_fifo&kind=wait"},
+		{"utilization_fifo", "/api/utilization?collection=sample_fifo&buckets=24"},
+		{"utilization_cnbf", "/api/utilization?collection=sample_cnbf&buckets=24"},
+		{"timelines_fifo", "/api/timelines?collection=sample_fifo&buckets=24"},
+		{"breakdown_fifo", "/api/breakdown?collection=sample_fifo"},
+		{"breakdown_cnbf", "/api/breakdown?collection=sample_cnbf"},
+		{"diff", "/api/diff?a=sample_fifo&b=sample_cnbf"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := get(t, ts, tc.path)
+			if code != http.StatusOK {
+				t.Fatalf("GET %s = %d: %s", tc.path, code, body)
+			}
+			if !json.Valid(body) {
+				t.Fatalf("GET %s: invalid JSON", tc.path)
+			}
+			checkGolden(t, tc.name, body)
+		})
+	}
+}
+
+// TestAPIErrors: bad collection names get JSON 404s, not empty 200s.
+func TestAPIErrors(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t).mux())
+	defer ts.Close()
+	for _, path := range []string{
+		"/api/queries?collection=nope",
+		"/api/utilization?collection=nope",
+		"/api/timelines",
+		"/api/breakdown?collection=nope",
+		"/api/diff?a=sample_fifo&b=nope",
+		"/api/diff?a=nope&b=sample_fifo",
+	} {
+		code, body := get(t, ts, path)
+		if code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, code)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("GET %s: body %q is not an error object", path, body)
+		}
+	}
+}
+
+// TestIntervalsFiltering: the kind filter returns only matching intervals and
+// an unknown kind returns an empty array, not null.
+func TestIntervalsFiltering(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t).mux())
+	defer ts.Close()
+	code, body := get(t, ts, "/api/intervals?collection=sample_fifo&kind=disk")
+	if code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	var ivs []traceviz.Interval
+	if err := json.Unmarshal(body, &ivs); err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) == 0 {
+		t.Fatal("no disk intervals in sample")
+	}
+	for _, iv := range ivs {
+		if iv.Kind != "disk" || !strings.HasPrefix(iv.Resource, "spindle/") {
+			t.Fatalf("filtered interval %+v", iv)
+		}
+	}
+	code, body = get(t, ts, "/api/intervals?collection=sample_fifo&kind=bogus")
+	if code != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("unknown kind: code %d body %q, want empty array", code, body)
+	}
+}
+
+// TestStaticUI: the embedded index page and script are served at /.
+func TestStaticUI(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(t).mux())
+	defer ts.Close()
+	code, body := get(t, ts, "/")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("mqviz")) {
+		t.Fatalf("GET / = %d, %d bytes", code, len(body))
+	}
+	code, body = get(t, ts, "/app.js")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("api/utilization")) {
+		t.Fatalf("GET /app.js = %d, %d bytes", code, len(body))
+	}
+}
+
+// TestDuplicateLoadNames: loading the same file twice yields distinct
+// collection names.
+func TestDuplicateLoadNames(t *testing.T) {
+	s := newServer(24)
+	path := filepath.Join("..", "..", "internal", "traceviz", "testdata", "sample_fifo.json")
+	for i := 0; i < 2; i++ {
+		if err := s.loadFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.names) != 2 || s.names[0] == s.names[1] {
+		t.Fatalf("names = %v", s.names)
+	}
+}
+
+// TestLiveAttach: mqviz snapshots a live mqserver's span ring end to end —
+// mqserver answers queries over netproto, serves /trace over HTTP, and mqviz
+// reconstructs the capture as the "live" collection.
+func TestLiveAttach(t *testing.T) {
+	table := mqsched.NewSlideTable(mqsched.Slide{Name: "s1", Width: 2048, Height: 2048})
+	sys, err := mqsched.New(mqsched.Config{
+		Mode: mqsched.Real, Policy: "fifo", Threads: 2, TimeScale: 0.0001,
+		TraceSpans: true,
+	}, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run a few queries through the live server to populate the ring.
+	done := make(chan error, 1)
+	sys.Start("loader", func(ctx mqsched.Ctx) {
+		for i := 0; i < 3; i++ {
+			q := mqsched.NewVMQuery("s1", mqsched.R(0, 0, 512, 512), 2, mqsched.Subsample)
+			tk, err := sys.Submit(q)
+			if err != nil {
+				done <- err
+				return
+			}
+			tk.Wait(ctx)
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The /trace endpoint mqviz attaches to, as mqserver serves it.
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/trace" {
+			http.NotFound(w, r)
+			return
+		}
+		if err := sys.Spans().WriteChromeInfo(w, mqsched.BuildInfo()); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer upstream.Close()
+
+	s := newServer(24)
+	s.attachLive(upstream.URL, 0)
+	if err := s.refreshLive(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/api/collections")
+	if code != http.StatusOK {
+		t.Fatalf("collections: %d", code)
+	}
+	var cols []CollectionSummary
+	if err := json.Unmarshal(body, &cols); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || cols[0].Name != "live" || !cols[0].Live {
+		t.Fatalf("collections = %+v", cols)
+	}
+	if cols[0].Queries != 3 {
+		t.Errorf("live queries = %d, want 3", cols[0].Queries)
+	}
+	if !strings.Contains(cols[0].Info["strategies"], "fifo") {
+		t.Errorf("live build info = %v", cols[0].Info)
+	}
+	code, body = get(t, ts, "/api/breakdown?collection=live")
+	if code != http.StatusOK {
+		t.Fatalf("breakdown: %d %s", code, body)
+	}
+	var bd []traceviz.StrategyBreakdown
+	if err := json.Unmarshal(body, &bd); err != nil {
+		t.Fatal(err)
+	}
+	if len(bd) != 1 || bd[0].Queries != 3 {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+}
+
+// TestTraceDumpFeedsViz: the full capture chain — mqclient's -trace-dump path
+// (netproto TraceChromeDump) produces a file mqviz loads.
+func TestTraceDumpFeedsViz(t *testing.T) {
+	table := mqsched.NewSlideTable(mqsched.Slide{Name: "s1", Width: 2048, Height: 2048})
+	sys, err := mqsched.New(mqsched.Config{
+		Mode: mqsched.Real, Policy: "cnbf", Threads: 2, TimeScale: 0.0001,
+		TraceSpans: true,
+	}, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go netproto.Serve(l, sys, t.Logf)
+	defer l.Close()
+
+	cl := netproto.NewClient(l.Addr().String(), 0)
+	defer cl.Close()
+	if _, err := cl.Do(&netproto.Request{
+		Slide: "s1", X1: 512, Y1: 512, Zoom: 2, Op: "subsample", OmitPixels: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cl.TraceChromeDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "dump.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(24)
+	if err := s.loadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.get("dump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Queries) != 1 || c.Queries[0].Strategy == "" {
+		t.Fatalf("dump reconstructed %+v", c.Queries)
+	}
+}

@@ -1,0 +1,203 @@
+// mqviz client: fetches the JSON analytics endpoints and renders them with
+// plain canvas/DOM — no framework, no build step. Every view is a pure
+// re-render of the last fetch.
+"use strict";
+
+const $ = (id) => document.getElementById(id);
+
+async function getJSON(url) {
+  const resp = await fetch(url);
+  const body = await resp.json();
+  if (!resp.ok) throw new Error(body.error || resp.statusText);
+  return body;
+}
+
+function fmtSec(s) {
+  if (s === 0) return "0";
+  if (Math.abs(s) < 0.001) return (s * 1e6).toFixed(0) + "µs";
+  if (Math.abs(s) < 1) return (s * 1e3).toFixed(1) + "ms";
+  return s.toFixed(2) + "s";
+}
+
+// Inferno-ish ramp for busy fractions.
+function heatColor(v) {
+  const stops = [
+    [0, [26, 33, 41]], [0.25, [49, 56, 107]], [0.5, [146, 55, 112]],
+    [0.75, [230, 98, 62]], [1, [252, 217, 125]],
+  ];
+  for (let i = 1; i < stops.length; i++) {
+    if (v <= stops[i][0]) {
+      const [t0, c0] = stops[i - 1], [t1, c1] = stops[i];
+      const f = (v - t0) / (t1 - t0 || 1);
+      const c = c0.map((x, j) => Math.round(x + f * (c1[j] - x)));
+      return `rgb(${c[0]},${c[1]},${c[2]})`;
+    }
+  }
+  return "rgb(252,217,125)";
+}
+
+function drawHeatmap(h) {
+  const canvas = $("heatmap");
+  const rows = h.rows || [];
+  const rowH = 22, labelW = 110;
+  canvas.height = Math.max(rows.length * rowH + 18, 40);
+  const ctx = canvas.getContext("2d");
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  ctx.font = "11px ui-monospace, monospace";
+  const plotW = canvas.width - labelW - 60;
+  rows.forEach((row, i) => {
+    const y = i * rowH;
+    ctx.fillStyle = "#7d8a99";
+    ctx.fillText(row.resource, 4, y + 14);
+    const n = row.busy.length;
+    const w = plotW / n;
+    for (let b = 0; b < n; b++) {
+      ctx.fillStyle = heatColor(row.busy[b]);
+      ctx.fillRect(labelW + b * w, y + 2, Math.ceil(w), rowH - 4);
+    }
+    ctx.fillStyle = "#d6dde6";
+    ctx.fillText((row.mean * 100).toFixed(0) + "%", labelW + plotW + 8, y + 14);
+  });
+  // Time axis.
+  const y = rows.length * rowH + 12;
+  ctx.fillStyle = "#7d8a99";
+  ctx.fillText("0s", labelW, y);
+  const end = fmtSec(h.span);
+  ctx.fillText(end, labelW + plotW - ctx.measureText(end).width, y);
+}
+
+function drawTimelines(tl) {
+  const canvas = $("timelines");
+  const ctx = canvas.getContext("2d");
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  const labelW = 40, plotW = canvas.width - labelW - 20, plotH = canvas.height - 30;
+  const series = [
+    { data: tl.queue_depth, color: "#ff7d6b", name: "queue depth" },
+    { data: tl.executing, color: "#57b3ff", name: "executing" },
+    { data: tl.wait_mean, color: "#5fd68b", name: "wait mean (s)" },
+  ];
+  const maxY = Math.max(1e-9, ...series.flatMap((s) => s.data));
+  ctx.strokeStyle = "#2a333e";
+  ctx.strokeRect(labelW, 5, plotW, plotH);
+  ctx.font = "11px ui-monospace, monospace";
+  ctx.fillStyle = "#7d8a99";
+  ctx.fillText(maxY.toFixed(1), 2, 14);
+  ctx.fillText("0", 2, plotH + 5);
+  series.forEach((s) => {
+    ctx.strokeStyle = s.color;
+    ctx.beginPath();
+    const n = s.data.length;
+    s.data.forEach((v, i) => {
+      const x = labelW + ((i + 0.5) / n) * plotW;
+      const y = 5 + plotH - (v / maxY) * plotH;
+      i === 0 ? ctx.moveTo(x, y) : ctx.lineTo(x, y);
+    });
+    ctx.stroke();
+  });
+  ctx.fillStyle = "#7d8a99";
+  ctx.fillText("0s", labelW, canvas.height - 6);
+  const end = fmtSec(tl.span);
+  ctx.fillText(end, labelW + plotW - ctx.measureText(end).width, canvas.height - 6);
+  $("tl-legend").innerHTML = series
+    .map((s) => `<span style="color:${s.color}">■</span> ${s.name}`)
+    .join(" &nbsp; ");
+}
+
+function renderBreakdown(bd) {
+  const phases = ["wait", "io", "compute", "reuse", "other"];
+  let html = `<table><tr><th>strategy</th><th>queries</th>` +
+    phases.map((p) => `<th>${p}</th>`).join("") +
+    `<th>mean</th><th>p50</th><th>p95</th><th>reused</th></tr>`;
+  for (const b of bd) {
+    html += `<tr><td>${b.strategy}</td><td>${b.queries}` +
+      (b.truncated ? ` <span class="pos">(${b.truncated}⚠)</span>` : "") + `</td>` +
+      phases.map((p) => `<td>${fmtSec(b.mean_phases[p])}</td>`).join("") +
+      `<td>${fmtSec(b.mean_response)}</td><td>${fmtSec(b.p50_response)}</td>` +
+      `<td>${fmtSec(b.p95_response)}</td><td>${(b.mean_reused_frac * 100).toFixed(0)}%</td></tr>`;
+  }
+  $("breakdown").innerHTML = html + "</table>";
+}
+
+function deltaCell(pair, fmt = fmtSec) {
+  const cls = pair.delta > 1e-12 ? "pos" : pair.delta < -1e-12 ? "neg" : "";
+  const sign = pair.delta > 0 ? "+" : "";
+  return `<td>${fmt(pair.a)}</td><td>${fmt(pair.b)}</td>` +
+    `<td class="${cls}">${sign}${fmt(pair.delta)}</td>`;
+}
+
+function renderDiff(d) {
+  let html = `<table><tr><th></th><th>A: ${d.a}</th><th>B: ${d.b}</th><th>Δ (B−A)</th></tr>`;
+  html += `<tr><td>span</td>${deltaCell(d.span)}</tr>`;
+  html += `<tr><td>queries</td>${deltaCell(d.queries, (v) => v.toFixed(0))}</tr>`;
+  html += `<tr><td>mean response</td>${deltaCell(d.mean_response)}</tr>`;
+  for (const u of d.utilization || []) {
+    html += `<tr><td>${u.class} mean busy</td>${deltaCell(u.mean_busy, (v) => (v * 100).toFixed(1) + "%")}</tr>`;
+  }
+  html += `</table>`;
+  for (const s of d.strategies || []) {
+    html += `<h2>${s.strategy} (${s.queries_a} vs ${s.queries_b} queries)</h2><table>` +
+      `<tr><th>metric</th><th>A</th><th>B</th><th>Δ</th></tr>` +
+      `<tr><td>mean response</td>${deltaCell(s.mean_response)}</tr>` +
+      `<tr><td>p95 response</td>${deltaCell(s.p95_response)}</tr>` +
+      `<tr><td>reused frac</td>${deltaCell(s.mean_reused_frac, (v) => (v * 100).toFixed(1) + "%")}</tr>`;
+    for (const p of s.phases || []) {
+      html += `<tr><td>phase: ${p.phase}</td>${deltaCell(p)}</tr>`;
+    }
+    html += `</table>`;
+  }
+  $("diff").innerHTML = html;
+}
+
+async function refresh() {
+  const name = $("collection").value;
+  const against = $("diffagainst").value;
+  $("error").textContent = "";
+  try {
+    const [util, tl, bd] = await Promise.all([
+      getJSON(`/api/utilization?collection=${encodeURIComponent(name)}`),
+      getJSON(`/api/timelines?collection=${encodeURIComponent(name)}`),
+      getJSON(`/api/breakdown?collection=${encodeURIComponent(name)}`),
+    ]);
+    drawHeatmap(util);
+    drawTimelines(tl);
+    renderBreakdown(bd);
+    if (against && against !== name) {
+      renderDiff(await getJSON(
+        `/api/diff?a=${encodeURIComponent(name)}&b=${encodeURIComponent(against)}`));
+      $("diffsection").style.display = "";
+    } else {
+      $("diffsection").style.display = "none";
+    }
+  } catch (err) {
+    $("error").textContent = String(err);
+  }
+}
+
+async function init() {
+  try {
+    const cols = await getJSON("/api/collections");
+    for (const c of cols) {
+      for (const sel of [$("collection"), $("diffagainst")]) {
+        const opt = document.createElement("option");
+        opt.value = c.name;
+        opt.textContent = `${c.name} (${c.queries} queries${c.live ? ", live" : ""})`;
+        sel.appendChild(opt);
+      }
+    }
+    const info = cols[0] && cols[0].info;
+    if (info) {
+      $("build").textContent =
+        `build ${info.version || "?"} · ${info.go || ""} · strategies ${info.strategies || ""}`;
+    }
+    $("collection").onchange = refresh;
+    $("diffagainst").onchange = refresh;
+    if (cols.length > 1) $("diffagainst").value = cols[1].name;
+    await refresh();
+    // Keep live collections fresh.
+    if (cols.some((c) => c.live)) setInterval(refresh, 5000);
+  } catch (err) {
+    $("error").textContent = String(err);
+  }
+}
+
+init();

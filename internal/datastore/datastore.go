@@ -324,7 +324,7 @@ func (m *Manager) LookupTraced(sp trace.SpanContext, dst query.Meta, minOverlap 
 	if !sp.Active() {
 		return m.Lookup(dst, minOverlap)
 	}
-	span := sp.Child("datastore", "lookup")
+	span := sp.Child(trace.SubDatastore, trace.OpLookup)
 	out := m.Lookup(dst, minOverlap)
 	var bytes int64
 	var best float64
@@ -334,8 +334,8 @@ func (m *Manager) LookupTraced(sp trace.SpanContext, dst query.Meta, minOverlap 
 			best = c.Overlap
 		}
 	}
-	span.Finish(trace.I64("candidates", int64(len(out))),
-		trace.I64("candidate_bytes", bytes), trace.F64("best_overlap", best))
+	span.Finish(trace.I64(trace.AttrCandidates, int64(len(out))),
+		trace.I64(trace.AttrCandidateBytes, bytes), trace.F64(trace.AttrBestOverlap, best))
 	return out
 }
 

@@ -368,7 +368,7 @@ func (f *Farm) checkPage(l *dataset.Layout, page int) {
 func (f *Farm) readFIFO(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, page int) []byte {
 	d := f.DiskFor(l.Name, page)
 	bytes := l.PageBytes(page)
-	span := sp.Child("disk", "read", trace.I64("spindle", int64(d)))
+	span := sp.Child(trace.SubDisk, trace.OpRead, trace.I64(trace.AttrSpindle, int64(d)))
 
 	var seq bool
 	var streams int
@@ -391,8 +391,8 @@ func (f *Farm) readFIFO(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, pag
 		return service
 	})
 	f.mx.queueLength[d].Dec()
-	span.Finish(trace.I64("bytes", bytes), trace.Bool("sequential", seq),
-		trace.I64("streams", int64(streams)))
+	span.Finish(trace.I64(trace.AttrBytes, bytes), trace.Bool(trace.AttrSequential, seq),
+		trace.I64(trace.AttrStreams, int64(streams)))
 
 	if f.gen != nil && !ctx.Synthetic() {
 		return f.gen(l, page)

@@ -72,8 +72,8 @@ func (f *Farm) enqueue(ctx rt.Ctx, sp trace.SpanContext, l *dataset.Layout, page
 			q.arrivals++
 			r.arrival = q.arrivals
 			r.deadline = q.rounds + int64(f.cfg.MaxDelay)
-			r.span = sp.Child("disk", "read",
-				trace.I64("spindle", int64(d)), trace.I64("qdepth", depth))
+			r.span = sp.Child(trace.SubDisk, trace.OpRead,
+				trace.I64(trace.AttrSpindle, int64(d)), trace.I64(trace.AttrQDepth, depth))
 			depth++
 		}
 		q.pending = append(q.pending, g...)
@@ -99,11 +99,11 @@ func (f *Farm) await(ctx rt.Ctx, reqs []*ioReq) [][]byte {
 		r.gate.Wait(ctx)
 		out[i] = r.data
 		r.span.Finish(
-			trace.I64("bytes", r.l.PageBytes(r.page)),
-			trace.Bool("sequential", r.seq),
-			trace.I64("streams", int64(r.streams)),
-			trace.I64("batch", int64(r.batch)),
-			trace.I64("reorder", r.reorder))
+			trace.I64(trace.AttrBytes, r.l.PageBytes(r.page)),
+			trace.Bool(trace.AttrSequential, r.seq),
+			trace.I64(trace.AttrStreams, int64(r.streams)),
+			trace.I64(trace.AttrBatch, int64(r.batch)),
+			trace.I64(trace.AttrReorder, r.reorder))
 	}
 	return out
 }

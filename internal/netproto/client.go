@@ -60,6 +60,20 @@ func (c *Client) doLocked(req *Request) (*Response, error) {
 	return c.conn.ReadResponse()
 }
 
+// TraceChromeDump fetches the server's full retained span ring as Chrome
+// trace_event JSON — the snapshot mqviz and chrome://tracing load. A server
+// without span tracing answers with a Response.Err, returned as an error.
+func (c *Client) TraceChromeDump() ([]byte, error) {
+	resp, err := c.Do(&Request{Verb: VerbTrace, TraceChrome: true})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	return resp.TraceJSON, nil
+}
+
 func (c *Client) closeLocked() {
 	if c.conn != nil {
 		c.conn.Close()

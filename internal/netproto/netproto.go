@@ -25,9 +25,11 @@ const (
 	VerbMetrics = "METRICS"
 	// VerbTrace returns span data from the server's tracer in
 	// Response.Trace. With Request.QueryID set, the rendered span tree of
-	// that query; otherwise the slow-query log entries with sequence numbers
-	// above Request.SinceSeq (Response.TraceSeq reports the highest sequence
-	// returned, for resuming the poll).
+	// that query; with Request.TraceChrome set, the whole retained span ring
+	// as Chrome trace_event JSON in Response.TraceJSON (the same document the
+	// metrics listener serves on /trace); otherwise the slow-query log
+	// entries with sequence numbers above Request.SinceSeq (Response.TraceSeq
+	// reports the highest sequence returned, for resuming the poll).
 	VerbTrace = "TRACE"
 )
 
@@ -50,6 +52,10 @@ type Request struct {
 	// SinceSeq filters a VerbTrace slow-log request to entries with
 	// sequence numbers strictly above it (0 returns everything retained).
 	SinceSeq int64
+	// TraceChrome asks a VerbTrace request for the full retained span ring
+	// as Chrome trace_event JSON (Response.TraceJSON) instead of rendered
+	// text. Ignored when QueryID is set.
+	TraceChrome bool
 }
 
 // Meta converts the request to a VM predicate, validating and zoom-aligning
@@ -90,6 +96,10 @@ type Response struct {
 	// TraceSeq is the highest slow-log sequence number included in Trace;
 	// pass it back as SinceSeq to poll for newer entries.
 	TraceSeq int64
+	// TraceJSON is the Chrome trace_event JSON document answering a
+	// VerbTrace request with TraceChrome set; loadable by chrome://tracing,
+	// Perfetto, or mqviz.
+	TraceJSON []byte
 }
 
 // Conn wraps a stream with gob encoding in both directions.

@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"bytes"
 	"net"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"mqsched"
 	"mqsched/internal/geom"
+	"mqsched/internal/trace"
 	"mqsched/internal/vm"
 )
 
@@ -293,5 +295,33 @@ func TestServeTraceVerb(t *testing.T) {
 	// Unknown query ID: error, connection lives.
 	if resp := roundTrip(t, c, &Request{Verb: VerbTrace, QueryID: 999}); resp.Err == "" {
 		t.Fatal("TRACE of unknown query should error")
+	}
+
+	// Chrome dump: the whole ring as loadable trace_event JSON with the
+	// build-info header.
+	cd := roundTrip(t, c, &Request{Verb: VerbTrace, TraceChrome: true})
+	if cd.Err != "" {
+		t.Fatal(cd.Err)
+	}
+	col, err := trace.ReadChrome(bytes.NewReader(cd.TraceJSON))
+	if err != nil {
+		t.Fatalf("TraceJSON unreadable: %v", err)
+	}
+	if len(col.Spans) == 0 {
+		t.Fatal("Chrome dump carries no spans")
+	}
+	if !strings.Contains(col.Info["strategies"], "cnbf") {
+		t.Errorf("trace_info strategies = %q", col.Info["strategies"])
+	}
+
+	// The TraceChromeDump client helper fetches the same document.
+	cl := NewClient(l.Addr().String(), 0)
+	defer cl.Close()
+	data, err := cl.TraceChromeDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, cd.TraceJSON) {
+		t.Error("client helper dump differs from raw verb response")
 	}
 }

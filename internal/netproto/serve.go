@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -90,6 +91,13 @@ func answerTrace(sys *mqsched.System, req *Request) *Response {
 			return &Response{Err: fmt.Sprintf("netproto: no spans retained for query %d", req.QueryID)}
 		}
 		return &Response{Trace: trace.FormatTree(spans)}
+	}
+	if req.TraceChrome {
+		var buf bytes.Buffer
+		if err := tr.WriteChromeInfo(&buf, mqsched.BuildInfo()); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{TraceJSON: buf.Bytes()}
 	}
 	var sb strings.Builder
 	seq := req.SinceSeq

@@ -235,8 +235,8 @@ func (m *Manager) ReadPage(ctx rt.Ctx, ds string, page int) []byte {
 // miss-dup), and bytes; any disk read it issues nests a disk span under it.
 // With an inert context it is exactly ReadPage.
 func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page int) []byte {
-	span := sp.Child("pagespace", "read",
-		trace.Str("dataset", ds), trace.I64("page", int64(page)))
+	span := sp.Child(trace.SubPagespace, trace.OpRead,
+		trace.Str(trace.AttrDataset, ds), trace.I64(trace.AttrPage, int64(page)))
 	l := m.table.Get(ds)
 	k := pageKey{ds, page}
 	sh := m.shardFor(k)
@@ -257,7 +257,7 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 			if coalesced {
 				outcome = "coalesced"
 			}
-			span.Finish(trace.Str("outcome", outcome), trace.I64("bytes", size))
+			span.Finish(trace.Str(trace.AttrOutcome, outcome), trace.I64(trace.AttrBytes, size))
 			return data
 
 		case e != nil && !m.opts.DisableDedup:
@@ -278,8 +278,8 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 			m.mx.misses.Inc()
 			sh.mu.Unlock()
 			data := m.fetchUntracked(ctx, span, l, page)
-			span.Finish(trace.Str("outcome", "miss-dup"),
-				trace.I64("bytes", l.PageBytes(page)))
+			span.Finish(trace.Str(trace.AttrOutcome, "miss-dup"),
+				trace.I64(trace.AttrBytes, l.PageBytes(page)))
 			return data
 
 		default:
@@ -289,8 +289,8 @@ func (m *Manager) ReadPageSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, page
 			m.mx.misses.Inc()
 			sh.mu.Unlock()
 			data := m.fetchAndPublish(ctx, span, l, e)
-			span.Finish(trace.Str("outcome", "miss"),
-				trace.I64("bytes", l.PageBytes(page)))
+			span.Finish(trace.Str(trace.AttrOutcome, "miss"),
+				trace.I64(trace.AttrBytes, l.PageBytes(page)))
 			return data
 		}
 	}
@@ -313,8 +313,8 @@ func (m *Manager) ReadPagesSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, pag
 	if len(pages) == 0 {
 		return nil
 	}
-	span := sp.Child("pagespace", "readbatch",
-		trace.Str("dataset", ds), trace.I64("pages", int64(len(pages))))
+	span := sp.Child(trace.SubPagespace, trace.OpReadBatch,
+		trace.Str(trace.AttrDataset, ds), trace.I64(trace.AttrPages, int64(len(pages))))
 	l := m.table.Get(ds)
 	out := make([][]byte, len(pages))
 
@@ -391,8 +391,8 @@ func (m *Manager) ReadPagesSpan(ctx rt.Ctx, sp trace.SpanContext, ds string, pag
 	for _, i := range waiters {
 		out[i] = m.ReadPageSpan(ctx, span, ds, pages[i])
 	}
-	span.Finish(trace.I64("hits", hits), trace.I64("misses", misses),
-		trace.I64("coalesced", int64(len(waiters))))
+	span.Finish(trace.I64(trace.AttrHits, hits), trace.I64(trace.AttrMisses, misses),
+		trace.I64(trace.AttrCoalesced, int64(len(waiters))))
 	return out
 }
 

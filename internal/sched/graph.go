@@ -271,8 +271,8 @@ func (g *Graph) Dequeue() *Node {
 	n.state = Executing
 	g.nextExc++
 	n.ExecSeq = g.nextExc
-	n.WaitSpan.Finish(trace.F64("rank", n.rank),
-		trace.I64("queue_depth", int64(g.waiting.Len())))
+	n.WaitSpan.Finish(trace.F64(trace.AttrRank, n.rank),
+		trace.I64(trace.AttrQueueDepth, int64(g.waiting.Len())))
 	g.st.Dequeued++
 	g.mx.toExecuting.Inc()
 	g.updateGaugesLocked()

@@ -464,3 +464,24 @@ func TestBlockableProducersRequiresExecuting(t *testing.T) {
 	}()
 	g.BlockableProducers(n)
 }
+
+// TestNamesResolve pins the advertised strategy set to ByName: every name
+// must construct, and its Policy.Name must match case-insensitively.
+func TestNamesResolve(t *testing.T) {
+	_, app := rig(nil)
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("Names() is empty")
+	}
+	for _, name := range names {
+		p, ok := ByName(name, app)
+		if !ok {
+			t.Errorf("advertised strategy %q does not resolve via ByName", name)
+			continue
+		}
+		// Display names may carry parameters, e.g. "CF(α=0.2)".
+		if !strings.HasPrefix(strings.ToLower(p.Name()), name) {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+}

@@ -127,6 +127,18 @@ func (SJF) Name() string { return "SJF" }
 // Rank implements Policy.
 func (s SJF) Rank(n *Node) float64 { return -float64(s.App.QInSize(n.Meta)) }
 
+// policyNames is the canonical strategy set, in the paper's order.
+// TestNamesResolve pins every entry to a ByName case so the advertised set
+// cannot drift from the constructible one.
+var policyNames = []string{"fifo", "muf", "ff", "cf", "cnbf", "sjf"}
+
+// Names returns the canonical lower-case names of every ranking strategy
+// constructible through ByName, in a fixed order. The set is advertised by
+// the mqsched_build_info metric and trace-collection headers.
+func Names() []string {
+	return append([]string(nil), policyNames...)
+}
+
 // ByName returns the policy with the given name ("fifo", "muf", "ff", "cf",
 // "cnbf", "sjf"); CF uses α = 0.2 as in the paper. It reports false for
 // unknown names.

@@ -248,7 +248,10 @@ func New(rtm rt.Runtime, app query.App, graph *sched.Graph, ds *datastore.Manage
 		ds.OnEvict = s.onEvict
 	}
 	for i := 0; i < s.opts.Threads; i++ {
-		s.rtm.Spawn(fmt.Sprintf("query-thread-%d", i), s.worker)
+		thread := i
+		s.rtm.Spawn(fmt.Sprintf("query-thread-%d", i), func(ctx rt.Ctx) {
+			s.worker(ctx, thread)
+		})
 	}
 	return s
 }
@@ -274,11 +277,11 @@ func (s *Server) Submit(m query.Meta) (*Ticket, error) {
 	n := s.graph.Prepare(m)
 	res := &query.Result{Meta: m, Arrival: s.rtm.Now()}
 	t := &task{res: res}
-	t.span = s.opts.Spans.StartRoot(n.ID, "server", "query",
-		trace.Str("strategy", s.graph.Policy().Name()), trace.Str("query", m.String()))
+	t.span = s.opts.Spans.StartRoot(n.ID, trace.SubServer, trace.OpQuery,
+		trace.Str(trace.AttrStrategy, s.graph.Policy().Name()), trace.Str(trace.AttrQuery, m.String()))
 	// The sched wait span is finished by the graph when the query is
 	// dequeued (or by Cancel); it measures time spent in the priority queue.
-	n.WaitSpan = t.span.Child("sched", "wait")
+	n.WaitSpan = t.span.Child(trace.SubSched, trace.OpWait)
 	n.Payload = t
 	s.graph.Enqueue(n)
 	s.opts.Tracer.RecordAt(res.Arrival, n.ID, trace.Submitted, m.String())
@@ -302,8 +305,8 @@ func (s *Server) Cancel(t *Ticket) bool {
 	t.res.Canceled = true
 	t.res.ExecStart = now
 	t.res.Completed = now
-	t.node.WaitSpan.Finish(trace.Str("outcome", "canceled"))
-	t.node.Payload.(*task).span.Finish(trace.Str("outcome", "canceled"))
+	t.node.WaitSpan.Finish(trace.Str(trace.AttrOutcome, "canceled"))
+	t.node.Payload.(*task).span.Finish(trace.Str(trace.AttrOutcome, "canceled"))
 	s.opts.Tracer.RecordAt(now, t.node.ID, trace.Completed, "canceled")
 	s.st.canceled.Add(1)
 	s.mx.canceled.Inc()
@@ -323,8 +326,9 @@ func (s *Server) Close() {
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats { return s.st.snapshot() }
 
-// worker is one query thread.
-func (s *Server) worker(ctx rt.Ctx) {
+// worker is one query thread; thread is its pool index, attributed to every
+// root span it executes (per-thread utilization in trace analysis).
+func (s *Server) worker(ctx rt.Ctx, thread int) {
 	for {
 		s.mu.Lock()
 		var n *sched.Node
@@ -340,15 +344,16 @@ func (s *Server) worker(ctx rt.Ctx) {
 			s.cond.Wait(ctx)
 		}
 		s.mu.Unlock()
-		s.execute(ctx, n)
+		s.execute(ctx, n, thread)
 	}
 }
 
 // execute runs one query to completion.
-func (s *Server) execute(ctx rt.Ctx, n *sched.Node) {
+func (s *Server) execute(ctx rt.Ctx, n *sched.Node, thread int) {
 	t := n.Payload.(*task)
 	res := t.res
 	res.ExecStart = s.rtm.Now()
+	t.span.Annotate(trace.I64(trace.AttrThread, int64(thread)))
 	s.opts.Tracer.RecordAt(res.ExecStart, n.ID, trace.ExecStart, "")
 
 	out := s.app.NewBlob(ctx, n.Meta)
@@ -373,8 +378,8 @@ func (s *Server) execute(ctx rt.Ctx, n *sched.Node) {
 		// off the manager is passed straight through (no wrapper allocation).
 		remaining.Coalesce()
 		var pr query.PageReader = s.ps
-		compute := t.span.Child("server", "compute",
-			trace.I64("subqueries", int64(len(remaining.Rects()))))
+		compute := t.span.Child(trace.SubServer, trace.OpCompute,
+			trace.I64(trace.AttrSubqueries, int64(len(remaining.Rects()))))
 		if compute.Active() {
 			pr = spanReader{ps: s.ps, sc: compute}
 		}
@@ -382,7 +387,7 @@ func (s *Server) execute(ctx rt.Ctx, n *sched.Node) {
 			read := s.app.ComputeRaw(ctx, n.Meta, sub, out, pr)
 			res.InputBytesRead += read
 		}
-		compute.Finish(trace.I64("input_bytes", res.InputBytesRead))
+		compute.Finish(trace.I64(trace.AttrInputBytes, res.InputBytesRead))
 		break
 	}
 
@@ -431,7 +436,7 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContex
 	var projections int64
 	project := trace.SpanContext{}
 	if len(cands) > 0 {
-		project = sp.Child("server", "project", trace.I64("candidates", int64(len(cands))))
+		project = sp.Child(trace.SubServer, trace.OpProject, trace.I64(trace.AttrCandidates, int64(len(cands))))
 	}
 	workers := query.ResolveParallelism(s.opts.ComputeParallelism)
 	if workers > 1 && !ctx.Synthetic() && len(cands) > 1 {
@@ -455,7 +460,7 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContex
 			c.Entry.Unpin()
 		}
 	}
-	project.Finish(trace.I64("projections", projections), trace.I64("area_gained", gained))
+	project.Finish(trace.I64(trace.AttrProjections, projections), trace.I64(trace.AttrAreaGained, gained))
 	return gained
 }
 
@@ -560,7 +565,7 @@ func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext
 		s.st.blocks.Add(1)
 		s.mx.blocks.Inc()
 		s.opts.Tracer.RecordAt(s.rtm.Now(), n.ID, trace.Blocked, fmt.Sprintf("on q%d", p.ID))
-		block := sp.Child("server", "block", trace.I64("producer", p.ID))
+		block := sp.Child(trace.SubServer, trace.OpBlock, trace.I64(trace.AttrProducer, p.ID))
 		p.Done.Wait(ctx)
 		block.Finish()
 		s.opts.Tracer.RecordAt(s.rtm.Now(), n.ID, trace.Unblocked, "")
@@ -573,7 +578,7 @@ func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext
 func (s *Server) finish(n *sched.Node, t *task, out *query.Blob, res *query.Result, reusedArea, gridArea int64) {
 	cached := false
 	if s.ds != nil {
-		store := t.span.Child("datastore", "store", trace.I64("bytes", out.Size))
+		store := t.span.Child(trace.SubDatastore, trace.OpStore, trace.I64(trace.AttrBytes, out.Size))
 		if entry := s.ds.Insert(out); entry != nil {
 			s.emu.Lock()
 			s.entryNode[entry] = n
@@ -589,7 +594,7 @@ func (s *Server) finish(n *sched.Node, t *task, out *query.Blob, res *query.Resu
 				cached = true
 			}
 		}
-		store.Finish(trace.Bool("cached", cached))
+		store.Finish(trace.Bool(trace.AttrCached, cached))
 	}
 	if !cached {
 		s.graph.Remove(n)
@@ -598,10 +603,10 @@ func (s *Server) finish(n *sched.Node, t *task, out *query.Blob, res *query.Resu
 	res.Completed = s.rtm.Now()
 	s.opts.Tracer.RecordAt(res.Completed, n.ID, trace.Completed, "")
 	t.span.Finish(
-		trace.F64("reused_frac", res.ReusedFrac),
-		trace.I64("input_bytes", res.InputBytesRead),
-		trace.I64("blocks", int64(res.WaitedOnExecuting)),
-		trace.Bool("cached", cached))
+		trace.F64(trace.AttrReusedFrac, res.ReusedFrac),
+		trace.I64(trace.AttrInputBytes, res.InputBytesRead),
+		trace.I64(trace.AttrBlocks, int64(res.WaitedOnExecuting)),
+		trace.Bool(trace.AttrCached, cached))
 	s.graph.Observe(res.ResponseTime()) // feedback for self-tuning policies
 
 	s.st.completed.Add(1)

@@ -26,7 +26,7 @@ type StrategyStats struct {
 func StrategyStatsOf(spans []Span) []StrategyStats {
 	waits := map[int64]float64{}
 	for _, s := range spans {
-		if s.Subsystem == "sched" && s.Op == "wait" {
+		if s.Subsystem == SubSched && s.Op == OpWait {
 			waits[s.QueryID] = s.Duration().Seconds()
 		}
 	}
@@ -35,12 +35,12 @@ func StrategyStatsOf(spans []Span) []StrategyStats {
 	}
 	byStrategy := map[string]*acc{}
 	for _, s := range spans {
-		if s.Parent != 0 || s.Subsystem != "server" || s.Op != "query" {
+		if s.Parent != 0 || s.Subsystem != SubServer || s.Op != OpQuery {
 			continue
 		}
 		strategy := "?"
 		for _, a := range s.Attrs {
-			if a.Key == "strategy" {
+			if a.Key == AttrStrategy {
 				strategy = a.s
 				break
 			}

@@ -114,6 +114,45 @@ type Span struct {
 // Duration is the span's elapsed time on the runtime clock.
 func (s Span) Duration() time.Duration { return s.End - s.Start }
 
+// Attr returns the last attribute with the given key (attributes appended at
+// Finish override ones set at start).
+func (s Span) Attr(key string) (Attr, bool) {
+	for i := len(s.Attrs) - 1; i >= 0; i-- {
+		if s.Attrs[i].Key == key {
+			return s.Attrs[i], true
+		}
+	}
+	return Attr{}, false
+}
+
+// AttrNum returns a numeric attribute as float64 (integers and booleans
+// coerce), reporting false for string attributes and missing keys. Analysis
+// layers use it because a round trip through Chrome JSON may turn an
+// integral float attribute into an integer one.
+func (s Span) AttrNum(key string) (float64, bool) {
+	a, ok := s.Attr(key)
+	if !ok {
+		return 0, false
+	}
+	switch a.kind {
+	case attrInt, attrBool:
+		return float64(a.i), true
+	case attrFloat:
+		return a.f, true
+	}
+	return 0, false
+}
+
+// AttrStr returns a string attribute, reporting false for other kinds and
+// missing keys.
+func (s Span) AttrStr(key string) (string, bool) {
+	a, ok := s.Attr(key)
+	if !ok || a.kind != attrString {
+		return "", false
+	}
+	return a.s, true
+}
+
 // TracerOptions configure a Tracer.
 type TracerOptions struct {
 	// Capacity bounds the finished-span ring buffer (default 16384). The

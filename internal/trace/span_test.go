@@ -142,16 +142,22 @@ func TestChromeJSONRoundTrip(t *testing.T) {
 			}
 		case "M":
 			m++
-			if e.Name != "thread_name" {
+			switch e.Name {
+			case "thread_name":
+				if e.Args["name"] != "q9" {
+					t.Errorf("thread_name args = %v", e.Args)
+				}
+			case ChromeInfoEvent:
+				if e.Args["dropped"] != float64(0) {
+					t.Errorf("trace_info args = %v", e.Args)
+				}
+			default:
 				t.Errorf("metadata event name = %q", e.Name)
-			}
-			if e.Args["name"] != "q9" {
-				t.Errorf("thread_name args = %v", e.Args)
 			}
 		}
 	}
-	if x != 2 || m != 1 {
-		t.Errorf("got %d X events and %d M events, want 2 and 1", x, m)
+	if x != 2 || m != 2 {
+		t.Errorf("got %d X events and %d M events, want 2 and 2 (thread_name + trace_info)", x, m)
 	}
 
 	// A nil tracer still writes a valid (empty) trace.

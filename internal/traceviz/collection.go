@@ -1,0 +1,391 @@
+// Package traceviz turns span-trace collections into scheduling analytics:
+// typed per-query intervals, per-spindle and per-worker utilization heatmaps,
+// queue-depth and wait-time timelines, per-strategy latency breakdowns, and
+// interval-aligned A/B diffs of two runs. It is the analysis layer behind
+// cmd/mqviz, in the shape of schedviz: a collection is loaded once
+// (Chrome trace_event JSON written by mqbench -trace-out, mqserver /trace, or
+// mqclient -trace-dump), reconstructed into intervals, and every view is a
+// pure function of the reconstruction — no I/O, no clocks, deterministic
+// output for deterministic input, so views golden-test cleanly and render
+// identically wherever the collection travels.
+//
+// All times in the output are float64 seconds relative to the collection's
+// earliest span start ("interval-aligned"): simulated traces begin near
+// virtual t=0, live captures begin at server uptime, and diffs of the two
+// must not care.
+package traceviz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"mqsched/internal/trace"
+)
+
+// Interval kinds. Each is one reconstructed slice of a query's life, typed so
+// clients can colour and stack them without string-matching span names.
+const (
+	// KindWait is time in the scheduler's waiting queue (sched/wait spans).
+	KindWait = "wait"
+	// KindExec is time on a query worker, from leaving the queue to the
+	// root span's end. Carries the worker's thread resource.
+	KindExec = "exec"
+	// KindIO is time blocked on the page space (pagespace read/readbatch
+	// spans, union-merged per query).
+	KindIO = "io"
+	// KindCompute is processing-function time (server/compute spans) net of
+	// the page-space stalls inside them.
+	KindCompute = "compute"
+	// KindReuse is data-store time: overlap lookups and result stores.
+	KindReuse = "reuse"
+	// KindDisk is one physical disk transfer, attributed to its spindle
+	// resource.
+	KindDisk = "disk"
+)
+
+// Interval is one typed, resource-attributed time slice reconstructed from a
+// query's span tree. Times are seconds since the collection's origin.
+type Interval struct {
+	Query    int64   `json:"query"`
+	Kind     string  `json:"kind"`
+	Resource string  `json:"resource,omitempty"` // "spindle/3", "thread/0"
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+	Strategy string  `json:"strategy,omitempty"`
+}
+
+// Duration returns the interval's length in seconds.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Phases is a query's response time decomposed into the scheduling phases
+// the paper reasons about: queue wait, I/O stall, processing-function
+// compute, data-store reuse bookkeeping, and the unattributed remainder.
+// All values are seconds; Wait+IO+Compute+Reuse+Other ≈ Response.
+type Phases struct {
+	Wait    float64 `json:"wait"`
+	IO      float64 `json:"io"`
+	Compute float64 `json:"compute"`
+	Reuse   float64 `json:"reuse"`
+	Other   float64 `json:"other"`
+}
+
+// Query is one reconstructed query: its root interval, phase decomposition,
+// and scheduling attributes.
+type Query struct {
+	ID        int64   `json:"id"`
+	Strategy  string  `json:"strategy"`
+	Thread    int     `json:"thread"` // worker index; −1 when unattributed
+	Start     float64 `json:"start"`
+	End       float64 `json:"end"`
+	Response  float64 `json:"response"`
+	Phases    Phases  `json:"phases"`
+	Reused    float64 `json:"reused_frac"`
+	Outcome   string  `json:"outcome,omitempty"`
+	Truncated bool    `json:"truncated"` // span tree incomplete (ring eviction)
+	Spans     int     `json:"spans"`
+}
+
+// Collection is one loaded trace: the raw spans plus every reconstruction the
+// views are computed from. Build it with Load/LoadSpans; treat it as
+// immutable afterwards.
+type Collection struct {
+	Name    string            `json:"name"`
+	Info    map[string]string `json:"info,omitempty"` // build identity from trace_info
+	Dropped uint64            `json:"dropped"`        // spans evicted before export
+
+	// Origin is the earliest span start on the trace's own clock; every
+	// other time in the collection is seconds after it.
+	Origin time.Duration `json:"-"`
+	// Span is the collection's total extent in seconds (latest end).
+	Span float64 `json:"span"`
+
+	Queries   []Query    `json:"queries"`
+	Intervals []Interval `json:"-"`
+	Spindles  []string   `json:"spindles"` // disk resources, sorted
+	Threads   []string   `json:"threads"`  // worker resources, sorted
+
+	spans []trace.Span
+}
+
+// Load reads one Chrome trace_event JSON document and reconstructs it.
+func Load(name string, r io.Reader) (*Collection, error) {
+	cc, err := trace.ReadChrome(r)
+	if err != nil {
+		return nil, fmt.Errorf("traceviz: load %s: %w", name, err)
+	}
+	c := LoadSpans(name, cc.Spans, cc.Truncated)
+	c.Info = cc.Info
+	c.Dropped = cc.Dropped
+	return c, nil
+}
+
+// LoadSpans reconstructs a collection from in-memory spans (a live tracer's
+// ring, or a parsed export). truncated maps query IDs flagged as incomplete
+// by the exporter to their orphan counts; nil is fine. The input slice is not
+// retained or reordered.
+func LoadSpans(name string, spans []trace.Span, truncated map[int64]int64) *Collection {
+	c := &Collection{Name: name}
+	c.spans = append([]trace.Span(nil), spans...)
+	// Canonical order makes every downstream view independent of the
+	// (ring-buffer finish) order spans arrived in.
+	sort.Slice(c.spans, func(i, j int) bool {
+		if c.spans[i].Start != c.spans[j].Start {
+			return c.spans[i].Start < c.spans[j].Start
+		}
+		return c.spans[i].ID < c.spans[j].ID
+	})
+	if len(c.spans) > 0 {
+		c.Origin = c.spans[0].Start
+	}
+
+	byQuery := map[int64][]trace.Span{}
+	var qids []int64
+	for _, s := range c.spans {
+		if _, seen := byQuery[s.QueryID]; !seen {
+			qids = append(qids, s.QueryID)
+		}
+		byQuery[s.QueryID] = append(byQuery[s.QueryID], s)
+		if end := c.sec(s.End); end > c.Span {
+			c.Span = end
+		}
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+
+	present := map[uint64]bool{}
+	for _, s := range c.spans {
+		present[s.ID] = true
+	}
+
+	spindles := map[string]bool{}
+	threads := map[string]bool{}
+	for _, qid := range qids {
+		q, ivs := c.reconstructQuery(qid, byQuery[qid], present)
+		if truncated != nil && truncated[qid] > 0 {
+			q.Truncated = true
+		}
+		c.Queries = append(c.Queries, q)
+		for _, iv := range ivs {
+			switch iv.Kind {
+			case KindDisk:
+				spindles[iv.Resource] = true
+			case KindExec:
+				if iv.Resource != "" {
+					threads[iv.Resource] = true
+				}
+			}
+		}
+		c.Intervals = append(c.Intervals, ivs...)
+	}
+	c.Spindles = sortedKeys(spindles)
+	c.Threads = sortedKeys(threads)
+	return c
+}
+
+// sec converts a trace timestamp to seconds after the collection origin.
+func (c *Collection) sec(t time.Duration) float64 {
+	return (t - c.Origin).Seconds()
+}
+
+// reconstructQuery turns one query's spans into its record and typed
+// intervals. present holds every span ID in the collection, for orphan
+// (evicted-parent) detection.
+func (c *Collection) reconstructQuery(qid int64, spans []trace.Span, present map[uint64]bool) (Query, []Interval) {
+	q := Query{ID: qid, Thread: -1, Spans: len(spans)}
+	var root *trace.Span
+	var waits, ios, computes, reuses, disks []trace.Span
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent != 0 && !present[s.Parent] {
+			q.Truncated = true
+		}
+		switch {
+		case s.Parent == 0 && s.Op == trace.OpQuery:
+			if root == nil {
+				root = s
+			}
+		case s.Subsystem == trace.SubSched && s.Op == trace.OpWait:
+			waits = append(waits, *s)
+		case s.Subsystem == trace.SubPagespace:
+			ios = append(ios, *s)
+		case s.Subsystem == trace.SubServer && s.Op == trace.OpCompute:
+			computes = append(computes, *s)
+		case s.Subsystem == trace.SubDatastore:
+			reuses = append(reuses, *s)
+		case s.Subsystem == trace.SubDisk && s.Op == trace.OpRead:
+			disks = append(disks, *s)
+		}
+	}
+
+	// Extent: the root span when present, otherwise the hull of what
+	// survived eviction.
+	if root != nil {
+		q.Start, q.End = c.sec(root.Start), c.sec(root.End)
+		if v, ok := root.AttrStr(trace.AttrStrategy); ok {
+			q.Strategy = v
+		}
+		if v, ok := root.AttrNum(trace.AttrThread); ok {
+			q.Thread = int(v)
+		}
+		if v, ok := root.AttrNum(trace.AttrReusedFrac); ok {
+			q.Reused = v
+		}
+		if v, ok := root.AttrStr(trace.AttrOutcome); ok {
+			q.Outcome = v
+		}
+	} else {
+		q.Truncated = true
+		first := true
+		for _, s := range spans {
+			if st, en := c.sec(s.Start), c.sec(s.End); first {
+				q.Start, q.End, first = st, en, false
+			} else {
+				q.Start, q.End = min(q.Start, st), max(q.End, en)
+			}
+		}
+	}
+	q.Response = q.End - q.Start
+
+	// Phase unions. Merging before summing keeps concurrent same-kind spans
+	// (parallel page reads, overlapping compute slices) from counting twice.
+	waitU := mergeSpans(c, waits)
+	ioU := mergeSpans(c, ios)
+	computeU := subtract(mergeSpans(c, computes), ioU)
+	reuseU := mergeSpans(c, reuses)
+	q.Phases.Wait = totalOf(waitU)
+	q.Phases.IO = totalOf(ioU)
+	q.Phases.Compute = totalOf(computeU)
+	q.Phases.Reuse = totalOf(reuseU)
+	q.Phases.Other = q.Response - q.Phases.Wait - q.Phases.IO - q.Phases.Compute - q.Phases.Reuse
+	if q.Phases.Other < 0 {
+		q.Phases.Other = 0
+	}
+
+	var ivs []Interval
+	add := func(kind, resource string, segs []seg) {
+		for _, g := range segs {
+			ivs = append(ivs, Interval{
+				Query: qid, Kind: kind, Resource: resource,
+				Start: g.start, End: g.end, Strategy: q.Strategy,
+			})
+		}
+	}
+	add(KindWait, "", waitU)
+	add(KindIO, "", ioU)
+	add(KindCompute, "", computeU)
+	add(KindReuse, "", reuseU)
+
+	// Exec: queue exit (end of the last wait) to root end, on the worker.
+	if root != nil {
+		execStart := q.Start
+		for _, w := range waitU {
+			if w.end > execStart {
+				execStart = w.end
+			}
+		}
+		if execStart < q.End {
+			res := ""
+			if q.Thread >= 0 {
+				res = fmt.Sprintf("thread/%d", q.Thread)
+			}
+			ivs = append(ivs, Interval{
+				Query: qid, Kind: KindExec, Resource: res,
+				Start: execStart, End: q.End, Strategy: q.Strategy,
+			})
+		}
+	}
+
+	// Disk transfers keep their spindle attribution; overlapping reads on
+	// one spindle are merged later, per-resource, by the utilization view.
+	for _, d := range disks {
+		res := "spindle/?"
+		if v, ok := d.AttrNum(trace.AttrSpindle); ok {
+			res = fmt.Sprintf("spindle/%d", int(v))
+		}
+		ivs = append(ivs, Interval{
+			Query: qid, Kind: KindDisk, Resource: res,
+			Start: c.sec(d.Start), End: c.sec(d.End), Strategy: q.Strategy,
+		})
+	}
+	return q, ivs
+}
+
+// seg is a half-open [start, end) second range used by the union arithmetic.
+type seg struct{ start, end float64 }
+
+// mergeSpans converts spans to segments and merges overlaps.
+func mergeSpans(c *Collection, spans []trace.Span) []seg {
+	segs := make([]seg, 0, len(spans))
+	for _, s := range spans {
+		segs = append(segs, seg{c.sec(s.Start), c.sec(s.End)})
+	}
+	return mergeSegs(segs)
+}
+
+// mergeSegs unions segments: sorted, overlapping and touching runs coalesced,
+// empty (zero-duration) segments dropped.
+func mergeSegs(segs []seg) []seg {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].start != segs[j].start {
+			return segs[i].start < segs[j].start
+		}
+		return segs[i].end < segs[j].end
+	})
+	out := segs[:0]
+	for _, g := range segs {
+		if g.end <= g.start {
+			continue
+		}
+		if n := len(out); n > 0 && g.start <= out[n-1].end {
+			if g.end > out[n-1].end {
+				out[n-1].end = g.end
+			}
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// subtract removes the union b from the union a (both already merged).
+func subtract(a, b []seg) []seg {
+	var out []seg
+	for _, g := range a {
+		cur := g
+		for _, h := range b {
+			if h.end <= cur.start || h.start >= cur.end {
+				continue
+			}
+			if h.start > cur.start {
+				out = append(out, seg{cur.start, h.start})
+			}
+			cur.start = h.end
+			if cur.start >= cur.end {
+				break
+			}
+		}
+		if cur.start < cur.end {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// totalOf sums a merged union's length.
+func totalOf(segs []seg) float64 {
+	var t float64
+	for _, g := range segs {
+		t += g.end - g.start
+	}
+	return t
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

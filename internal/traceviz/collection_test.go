@@ -1,0 +1,243 @@
+package traceviz
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"mqsched/internal/trace"
+)
+
+// ms builds a span with millisecond timestamps, compactly.
+func ms(id, parent uint64, qid int64, sub, op string, start, end int64, attrs ...trace.Attr) trace.Span {
+	return trace.Span{
+		ID: id, Parent: parent, QueryID: qid, Subsystem: sub, Op: op,
+		Start: time.Duration(start) * time.Millisecond,
+		End:   time.Duration(end) * time.Millisecond,
+		Attrs: attrs,
+	}
+}
+
+// A minimal but complete query tree: 100ms response = 20ms wait + 30ms IO
+// (two overlapping page reads backed by one spindle) + 40ms compute (net of
+// a 10ms nested read) + 5ms reuse + remainder.
+func sampleQuery() []trace.Span {
+	return []trace.Span{
+		ms(1, 0, 1, trace.SubServer, trace.OpQuery, 0, 100,
+			trace.Str(trace.AttrStrategy, "fifo"), trace.I64(trace.AttrThread, 0),
+			trace.F64(trace.AttrReusedFrac, 0.25)),
+		ms(2, 1, 1, trace.SubSched, trace.OpWait, 0, 20),
+		ms(3, 1, 1, trace.SubDatastore, trace.OpLookup, 20, 25),
+		// Two pagespace reads overlapping on [30,50): union is [25,50) = 25ms.
+		ms(4, 1, 1, trace.SubPagespace, trace.OpRead, 25, 50),
+		ms(5, 1, 1, trace.SubPagespace, trace.OpRead, 30, 50),
+		// Both backed by the same spindle, overlapping [30,45).
+		ms(6, 4, 1, trace.SubDisk, trace.OpRead, 25, 45, trace.I64(trace.AttrSpindle, 0)),
+		ms(7, 5, 1, trace.SubDisk, trace.OpRead, 30, 50, trace.I64(trace.AttrSpindle, 0)),
+		// Compute [50,95) with a nested page read [60,70): compute nets to 35ms.
+		ms(8, 1, 1, trace.SubServer, trace.OpCompute, 50, 95),
+		ms(9, 8, 1, trace.SubPagespace, trace.OpRead, 60, 70),
+		ms(10, 9, 1, trace.SubDisk, trace.OpRead, 60, 70, trace.I64(trace.AttrSpindle, 1)),
+	}
+}
+
+func TestReconstructPhases(t *testing.T) {
+	c := LoadSpans("t", sampleQuery(), nil)
+	if len(c.Queries) != 1 {
+		t.Fatalf("got %d queries", len(c.Queries))
+	}
+	q := c.Queries[0]
+	if q.Strategy != "fifo" || q.Thread != 0 || q.Reused != 0.25 {
+		t.Errorf("attrs: %+v", q)
+	}
+	if q.Truncated {
+		t.Error("complete tree flagged truncated")
+	}
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx("response", q.Response, 0.100)
+	approx("wait", q.Phases.Wait, 0.020)
+	// IO union: [25,50) ∪ [60,70) = 35ms — the overlapping reads must not
+	// double-count.
+	approx("io", q.Phases.IO, 0.035)
+	// Compute [50,95) minus the nested read [60,70) = 35ms.
+	approx("compute", q.Phases.Compute, 0.035)
+	approx("reuse", q.Phases.Reuse, 0.005)
+	approx("other", q.Phases.Other, 0.005)
+	if len(c.Spindles) != 2 || c.Spindles[0] != "spindle/0" {
+		t.Errorf("spindles = %v", c.Spindles)
+	}
+	if len(c.Threads) != 1 || c.Threads[0] != "thread/0" {
+		t.Errorf("threads = %v", c.Threads)
+	}
+}
+
+// TestOverlappingSpindleReads: concurrent transfers on one spindle merge —
+// utilization never exceeds 100%.
+func TestOverlappingSpindleReads(t *testing.T) {
+	c := LoadSpans("t", sampleQuery(), nil)
+	h := Utilization(c, 10) // 10ms buckets over the 100ms span
+	var row *HeatmapRow
+	for i := range h.Rows {
+		if h.Rows[i].Resource == "spindle/0" {
+			row = &h.Rows[i]
+		}
+	}
+	if row == nil {
+		t.Fatal("no spindle/0 row")
+	}
+	// Spindle 0 union: [25,50) = 25ms busy.
+	if diff := row.BusySec - 0.025; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("spindle/0 busy = %v, want 25ms", row.BusySec)
+	}
+	for i, v := range row.Busy {
+		if v < 0 || v > 1 {
+			t.Errorf("bucket %d busy fraction %v out of [0,1]", i, v)
+		}
+	}
+	// Bucket 3 ([30,40)ms) is fully covered by both reads: exactly 1.0.
+	if diff := row.Busy[3] - 1.0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("bucket 3 = %v, want 1.0 despite double coverage", row.Busy[3])
+	}
+}
+
+// TestZeroDurationSpans: instantaneous spans (cache-hit page reads on the
+// simulated clock) contribute nothing but crash nothing.
+func TestZeroDurationSpans(t *testing.T) {
+	spans := []trace.Span{
+		ms(1, 0, 1, trace.SubServer, trace.OpQuery, 0, 10,
+			trace.Str(trace.AttrStrategy, "cf")),
+		ms(2, 1, 1, trace.SubSched, trace.OpWait, 0, 0), // instant dispatch
+		ms(3, 1, 1, trace.SubPagespace, trace.OpRead, 5, 5),
+		ms(4, 3, 1, trace.SubDisk, trace.OpRead, 5, 5, trace.I64(trace.AttrSpindle, 0)),
+	}
+	c := LoadSpans("t", spans, nil)
+	q := c.Queries[0]
+	if q.Phases.Wait != 0 || q.Phases.IO != 0 {
+		t.Errorf("zero-duration phases leaked time: %+v", q.Phases)
+	}
+	if q.Phases.Other <= 0 {
+		t.Errorf("other = %v, want the whole response", q.Phases.Other)
+	}
+	h := Utilization(c, 4)
+	for _, row := range h.Rows {
+		if row.BusySec != 0 && row.Class == "spindle" {
+			t.Errorf("%s busy %v from zero-duration reads", row.Resource, row.BusySec)
+		}
+	}
+	tl := ComputeTimelines(c, 4)
+	for i, v := range tl.QueueDepth {
+		if v != 0 {
+			t.Errorf("queue depth bucket %d = %v from a zero-duration wait", i, v)
+		}
+	}
+}
+
+// TestOrderIndependence: every view is a pure function of the span *set* —
+// feeding the spans in any order yields identical results. Run under -race
+// this also checks the reconstruction shares no hidden mutable state.
+func TestOrderIndependence(t *testing.T) {
+	spans := sampleQuery()
+	spans = append(spans,
+		ms(11, 0, 2, trace.SubServer, trace.OpQuery, 40, 160,
+			trace.Str(trace.AttrStrategy, "fifo"), trace.I64(trace.AttrThread, 1)),
+		ms(12, 11, 2, trace.SubSched, trace.OpWait, 40, 90),
+		ms(13, 11, 2, trace.SubPagespace, trace.OpRead, 95, 130),
+		ms(14, 13, 2, trace.SubDisk, trace.OpRead, 95, 130, trace.I64(trace.AttrSpindle, 1)),
+	)
+	base := LoadSpans("t", spans, nil)
+	baseU := Utilization(base, 16)
+	baseT := ComputeTimelines(base, 16)
+	baseB := Breakdown(base)
+
+	rng := rand.New(rand.NewSource(42))
+	results := make([]*Collection, 8)
+	done := make(chan int)
+	for i := range results {
+		shuffled := append([]trace.Span(nil), spans...)
+		rng.Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+		go func(i int, in []trace.Span) {
+			results[i] = LoadSpans("t", in, nil)
+			done <- i
+		}(i, shuffled)
+	}
+	for range results {
+		<-done
+	}
+	for i, c := range results {
+		if !reflect.DeepEqual(c.Queries, base.Queries) {
+			t.Fatalf("shuffle %d: queries differ\ngot %+v\nwant %+v", i, c.Queries, base.Queries)
+		}
+		if !reflect.DeepEqual(c.Intervals, base.Intervals) {
+			t.Fatalf("shuffle %d: intervals differ", i)
+		}
+		if !reflect.DeepEqual(Utilization(c, 16), baseU) {
+			t.Fatalf("shuffle %d: utilization differs", i)
+		}
+		if !reflect.DeepEqual(ComputeTimelines(c, 16), baseT) {
+			t.Fatalf("shuffle %d: timelines differ", i)
+		}
+		if !reflect.DeepEqual(Breakdown(c), baseB) {
+			t.Fatalf("shuffle %d: breakdown differs", i)
+		}
+	}
+}
+
+// TestTruncatedQuery: a query whose root was never exported is flagged and
+// excluded from breakdown means.
+func TestTruncatedQuery(t *testing.T) {
+	spans := []trace.Span{
+		// Orphans: parent 99 was evicted.
+		ms(2, 99, 1, trace.SubSched, trace.OpWait, 0, 20),
+		ms(3, 99, 1, trace.SubPagespace, trace.OpRead, 20, 60),
+	}
+	c := LoadSpans("t", spans, nil)
+	q := c.Queries[0]
+	if !q.Truncated {
+		t.Fatal("orphaned tree not flagged truncated")
+	}
+	if q.Start != 0 || q.End != 0.06 {
+		t.Errorf("hull = [%v, %v], want [0, 0.06]", q.Start, q.End)
+	}
+	bd := Breakdown(c)
+	if bd[0].Truncated != 1 || bd[0].MeanResp != 0 {
+		t.Errorf("breakdown over truncated query: %+v", bd[0])
+	}
+
+	// The exporter's marker map also flags queries whose own tree looks
+	// complete but lost children.
+	complete := sampleQuery()
+	c2 := LoadSpans("t", complete, map[int64]int64{1: 3})
+	if !c2.Queries[0].Truncated {
+		t.Error("exporter truncation marker ignored")
+	}
+}
+
+// TestSubtract covers the interval-arithmetic corners the phase math relies
+// on.
+func TestSubtract(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []seg
+		want []seg
+	}{
+		{"disjoint", []seg{{0, 10}}, []seg{{20, 30}}, []seg{{0, 10}}},
+		{"swallow", []seg{{5, 10}}, []seg{{0, 20}}, nil},
+		{"punch", []seg{{0, 10}}, []seg{{4, 6}}, []seg{{0, 4}, {6, 10}}},
+		{"left-clip", []seg{{0, 10}}, []seg{{-5, 5}}, []seg{{5, 10}}},
+		{"right-clip", []seg{{0, 10}}, []seg{{8, 15}}, []seg{{0, 8}}},
+		{"multi", []seg{{0, 10}, {20, 30}}, []seg{{5, 25}}, []seg{{0, 5}, {25, 30}}},
+	}
+	for _, tc := range cases {
+		if got := subtract(tc.a, tc.b); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: subtract(%v, %v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package traceviz
+
+import "sort"
+
+// Pair holds an A-run and B-run value plus their difference. Delta is B − A;
+// Ratio is B/A (0 when A is 0), so Ratio < 1 reads "B improved" for
+// lower-is-better quantities like latency.
+type Pair struct {
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"`
+	Ratio float64 `json:"ratio"`
+}
+
+func pairOf(a, b float64) Pair {
+	p := Pair{A: a, B: b, Delta: b - a}
+	if a != 0 {
+		p.Ratio = b / a
+	}
+	return p
+}
+
+// PhaseDiff compares one latency phase between the runs.
+type PhaseDiff struct {
+	Phase string `json:"phase"`
+	Pair
+}
+
+// StrategyDiff compares one ranking strategy's queries between the runs.
+// Strategies present in only one run keep zeros on the other side.
+type StrategyDiff struct {
+	Strategy string      `json:"strategy"`
+	QueriesA int         `json:"queries_a"`
+	QueriesB int         `json:"queries_b"`
+	MeanResp Pair        `json:"mean_response"`
+	P95Resp  Pair        `json:"p95_response"`
+	Reused   Pair        `json:"mean_reused_frac"`
+	Phases   []PhaseDiff `json:"phases"`
+}
+
+// ResourceDiff compares mean utilization of one resource class.
+type ResourceDiff struct {
+	Class     string `json:"class"` // "spindle" or "thread"
+	Resources int    `json:"resources_a"`
+	ResB      int    `json:"resources_b"`
+	MeanBusy  Pair   `json:"mean_busy"`
+}
+
+// DiffReport is the interval-aligned comparison of two runs: both
+// collections are normalized to their own origins (Load already does this),
+// so a simulated baseline diffs cleanly against a live capture.
+type DiffReport struct {
+	A           string         `json:"a"`
+	B           string         `json:"b"`
+	Span        Pair           `json:"span"`    // makespan covered by spans
+	Queries     Pair           `json:"queries"` // completed query counts
+	MeanResp    Pair           `json:"mean_response"`
+	Strategies  []StrategyDiff `json:"strategies"`
+	Utilization []ResourceDiff `json:"utilization"`
+}
+
+// Diff compares run A against run B per strategy, per phase, and per
+// resource class.
+func Diff(a, b *Collection) *DiffReport {
+	r := &DiffReport{
+		A:       a.Name,
+		B:       b.Name,
+		Span:    pairOf(a.Span, b.Span),
+		Queries: pairOf(float64(len(a.Queries)), float64(len(b.Queries))),
+	}
+	r.MeanResp = pairOf(meanResponse(a), meanResponse(b))
+
+	ba := indexBreakdown(Breakdown(a))
+	bb := indexBreakdown(Breakdown(b))
+	for _, name := range unionNames(ba, bb) {
+		sa, sb := ba[name], bb[name]
+		sd := StrategyDiff{
+			Strategy: name,
+			QueriesA: sa.Queries,
+			QueriesB: sb.Queries,
+			MeanResp: pairOf(sa.MeanResp, sb.MeanResp),
+			P95Resp:  pairOf(sa.P95, sb.P95),
+			Reused:   pairOf(sa.ReusedFrac, sb.ReusedFrac),
+		}
+		for _, ph := range []struct {
+			name string
+			av   float64
+			bv   float64
+		}{
+			{"wait", sa.MeanPhases.Wait, sb.MeanPhases.Wait},
+			{"io", sa.MeanPhases.IO, sb.MeanPhases.IO},
+			{"compute", sa.MeanPhases.Compute, sb.MeanPhases.Compute},
+			{"reuse", sa.MeanPhases.Reuse, sb.MeanPhases.Reuse},
+			{"other", sa.MeanPhases.Other, sb.MeanPhases.Other},
+		} {
+			sd.Phases = append(sd.Phases, PhaseDiff{Phase: ph.name, Pair: pairOf(ph.av, ph.bv)})
+		}
+		r.Strategies = append(r.Strategies, sd)
+	}
+
+	ua := Utilization(a, DefaultBuckets)
+	ub := Utilization(b, DefaultBuckets)
+	for _, class := range []string{"spindle", "thread"} {
+		na, ma := classMean(ua, class)
+		nb, mb := classMean(ub, class)
+		if na == 0 && nb == 0 {
+			continue
+		}
+		r.Utilization = append(r.Utilization, ResourceDiff{
+			Class: class, Resources: na, ResB: nb, MeanBusy: pairOf(ma, mb),
+		})
+	}
+	return r
+}
+
+func meanResponse(c *Collection) float64 {
+	var sum float64
+	var n int
+	for _, q := range c.Queries {
+		if q.Truncated {
+			continue
+		}
+		sum += q.Response
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func indexBreakdown(bs []StrategyBreakdown) map[string]StrategyBreakdown {
+	m := make(map[string]StrategyBreakdown, len(bs))
+	for _, b := range bs {
+		m[b.Strategy] = b
+	}
+	return m
+}
+
+func unionNames(a, b map[string]StrategyBreakdown) []string {
+	set := map[string]bool{}
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// classMean returns the resource count and the mean of mean-busy over one
+// resource class of a heatmap.
+func classMean(h *Heatmap, class string) (int, float64) {
+	var n int
+	var sum float64
+	for _, row := range h.Rows {
+		if row.Class == class {
+			n++
+			sum += row.Mean
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return n, sum / float64(n)
+}

@@ -1,0 +1,89 @@
+package traceviz
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// loadSample loads one committed sample trace (generated with
+//
+//	mqbench -trace-out ... -policy=<p> -clients=2 -queries=2 -threads=2 \
+//	        -disks=2 -seed=7 -slide-side=2048
+//
+// on the deterministic simulated runtime).
+func loadSample(t *testing.T, name string) *Collection {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := Load(name, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// checkGolden compares v's indented JSON against testdata/<name>.golden.json,
+// rewriting the golden under -update.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name+".golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./internal/traceviz -update' to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden %s; run 'go test ./internal/traceviz -update' and review the diff", name, path)
+	}
+}
+
+func TestGoldenSamples(t *testing.T) {
+	fifo := loadSample(t, "sample_fifo")
+	cnbf := loadSample(t, "sample_cnbf")
+
+	// Both samples: 4 emulated clients' queries over 2 spindles, 2 workers.
+	for _, c := range []*Collection{fifo, cnbf} {
+		if len(c.Queries) == 0 {
+			t.Fatalf("%s: no queries reconstructed", c.Name)
+		}
+		if len(c.Spindles) != 2 {
+			t.Errorf("%s: spindles = %v, want 2", c.Name, c.Spindles)
+		}
+		if c.Info["strategies"] == "" {
+			t.Errorf("%s: no build-info header", c.Name)
+		}
+		for _, q := range c.Queries {
+			if q.Truncated {
+				t.Errorf("%s: query %d truncated in a complete capture", c.Name, q.ID)
+			}
+		}
+	}
+
+	checkGolden(t, "sample_fifo.queries", fifo.Queries)
+	checkGolden(t, "sample_cnbf.queries", cnbf.Queries)
+	checkGolden(t, "sample_fifo.utilization", Utilization(fifo, 24))
+	checkGolden(t, "sample_cnbf.utilization", Utilization(cnbf, 24))
+	checkGolden(t, "sample_fifo.timelines", ComputeTimelines(fifo, 24))
+	checkGolden(t, "sample_fifo.breakdown", Breakdown(fifo))
+	checkGolden(t, "sample_cnbf.breakdown", Breakdown(cnbf))
+	checkGolden(t, "diff_fifo_cnbf", Diff(fifo, cnbf))
+}

@@ -34,6 +34,9 @@ package mqsched
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -109,6 +112,57 @@ func NewSlideTable(slides ...Slide) *dataset.Table {
 		ls[i] = vm.NewSlide(s.Name, s.Width, s.Height)
 	}
 	return dataset.NewTable(ls...)
+}
+
+// BuildInfo identifies this build: the module version (or VCS revision when
+// built from a checkout), the Go toolchain, and the advertised ranking
+// strategy set. It labels the mqsched_build_info gauge and the trace_info
+// metadata of every Chrome trace export, so a captured collection records
+// which build and strategy vocabulary produced it.
+func BuildInfo() map[string]string {
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		}
+		var rev string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "+dirty"
+			}
+			version = rev
+		}
+	}
+	return map[string]string{
+		"version":    version,
+		"go":         runtime.Version(),
+		"strategies": strings.Join(sched.Names(), ","),
+	}
+}
+
+// registerBuildInfo publishes the constant mqsched_build_info gauge (value
+// 1, identity in the labels) on the registry, the Prometheus convention for
+// exposing build identity to dashboards and to mqviz collection headers.
+func registerBuildInfo(reg *metrics.Registry) {
+	bi := BuildInfo()
+	reg.Gauge("mqsched_build_info",
+		"Build identity: constant 1, labelled with the build version, Go toolchain, and ranking strategy set.",
+		metrics.L("version", bi["version"]),
+		metrics.L("go", bi["go"]),
+		metrics.L("strategies", bi["strategies"]),
+	).Set(1)
 }
 
 // Mode selects the execution substrate.
@@ -258,6 +312,7 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 
 	if cfg.EnableMetrics {
 		s.reg = metrics.NewRegistry()
+		registerBuildInfo(s.reg)
 	}
 	s.farm = disk.NewFarm(s.rtm, disk.Config{
 		Disks:         cfg.Disks,

@@ -2,6 +2,7 @@ package mqsched
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"mqsched/internal/dataset"
@@ -153,5 +154,36 @@ func TestAlignRectFacade(t *testing.T) {
 	got := AlignRect(R(3, 3, 61, 61), 8, R(0, 0, 1024, 1024))
 	if got.X0%8 != 0 || got.X1%8 != 0 {
 		t.Fatalf("AlignRect = %v", got)
+	}
+}
+
+func TestBuildInfoGauge(t *testing.T) {
+	bi := BuildInfo()
+	for _, k := range []string{"version", "go", "strategies"} {
+		if bi[k] == "" {
+			t.Errorf("BuildInfo()[%q] empty", k)
+		}
+	}
+	if !strings.Contains(bi["strategies"], "cnbf") {
+		t.Errorf("strategies = %q, want cnbf present", bi["strategies"])
+	}
+
+	table := NewSlideTable(Slide{Name: "s1", Width: 4096, Height: 4096})
+	sys, err := New(Config{Mode: Simulated, Policy: "fifo", Threads: 1, EnableMetrics: true}, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mqsched_build_info{") {
+		t.Fatalf("mqsched_build_info missing from exposition:\n%s", out)
+	}
+	for _, frag := range []string{`go="` + bi["go"] + `"`, `strategies="` + bi["strategies"] + `"`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing label %s", frag)
+		}
 	}
 }
