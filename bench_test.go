@@ -28,6 +28,7 @@ import (
 	"mqsched/internal/disk"
 	"mqsched/internal/experiment"
 	"mqsched/internal/geom"
+	"mqsched/internal/load"
 	"mqsched/internal/pagespace"
 	"mqsched/internal/rt"
 	"mqsched/internal/sched"
@@ -41,6 +42,7 @@ var (
 	scalingOut    = flag.String("scalingout", "", "write BenchmarkScaling results as JSON to this path")
 	largeQueryOut = flag.String("largequeryout", "", "write BenchmarkLargeQueryParallel results as JSON to this path")
 	diskOut       = flag.String("diskout", "", "write BenchmarkDiskSweep results as JSON to this path")
+	cacheOut      = flag.String("cacheout", "", "write BenchmarkCacheSweep results as JSON to this path")
 )
 
 // benchBase returns the benchmark workload scale.
@@ -581,6 +583,119 @@ func BenchmarkDiskSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile(*diskOut, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// cacheSweepStream builds the Zipfian multi-user browsing stream the cache
+// policies are compared on: 200 users over 3 slides, skewed dataset and
+// hotspot popularity, Poisson arrivals. Deterministic (fixed seeds).
+func cacheSweepStream(rate float64, n int) ([]load.Item, int64) {
+	const side = int64(30000)
+	table := dataset.NewTable(
+		vm.NewSlide("slide1", side, side),
+		vm.NewSlide("slide2", side, side),
+		vm.NewSlide("slide3", side, side),
+	)
+	items := load.Build(load.GenConfig{
+		Users: 200, DatasetZipfS: 1.1, HotspotZipfS: 1.2, UserZipfS: 0.6,
+		OutputSide: 512, Op: vm.Subsample, Seed: 1,
+	}, table, load.ArrivalConfig{Process: load.Poisson, Rate: rate, Seed: 1}, n)
+	return items, side
+}
+
+// cacheSweepRun replays one stream through the virtual-time stack under one
+// cache policy and returns the load metrics. Virtual time makes the run
+// deterministic: identical inputs give identical metrics, so the committed
+// baseline regenerates bit-for-bit on any machine.
+func cacheSweepRun(b *testing.B, pol string, rate float64, n int) experiment.LoadMetrics {
+	b.Helper()
+	items, side := cacheSweepStream(rate, n)
+	warm := time.Duration(float64(n) / rate / 5 * float64(time.Second))
+	m, err := experiment.RunLoad(experiment.Config{
+		Policy: "cnbf", Op: vm.Subsample, DSBudget: 32 * experiment.MB,
+		DSPolicy: pol, SlideSide: side,
+	}, items, warm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkCacheSweep compares the datastore cache policies (lru vs cost) on
+// the Zipfian browsing workload at a fixed 32 MB DS budget across offered
+// rates. Reported metrics: reused-bytes fraction (share of output bytes
+// projected from cached results rather than recomputed) and the p95 of the
+// simulated query latency. With -cacheout=PATH the per-point metrics plus the
+// cost-over-lru summary ratios are written as JSON (see BENCH_cache.json for
+// the committed baseline; cmd/benchdiff gates both ratios in CI).
+func BenchmarkCacheSweep(b *testing.B) {
+	const n = 800
+	rates := []float64{50, 100, 200}
+	type key struct {
+		pol  string
+		rate float64
+	}
+	last := map[key]experiment.LoadMetrics{}
+	for _, pol := range []string{"lru", "cost"} {
+		for _, rate := range rates {
+			b.Run(fmt.Sprintf("%s/rate=%.0f", pol, rate), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := cacheSweepRun(b, pol, rate, n)
+					last[key{pol, rate}] = m
+					b.ReportMetric(m.ReusedBytesFrac, "reused_frac")
+					b.ReportMetric(m.P95, "p95_s")
+				}
+			})
+		}
+	}
+	if *cacheOut == "" {
+		return
+	}
+	type point struct {
+		Policy      string  `json:"policy"`
+		RateQPS     float64 `json:"rate_qps"`
+		ReusedFrac  float64 `json:"reused_frac"`
+		P95Sec      float64 `json:"p95_s"`
+		P50Sec      float64 `json:"p50_s"`
+		AchievedQPS float64 `json:"achieved_qps"`
+	}
+	var pts []point
+	sums := map[string]*struct{ reuse, p95 float64 }{
+		"lru": {}, "cost": {},
+	}
+	for _, pol := range []string{"lru", "cost"} {
+		for _, rate := range rates {
+			m := last[key{pol, rate}]
+			pts = append(pts, point{
+				Policy: pol, RateQPS: rate, ReusedFrac: m.ReusedBytesFrac,
+				P95Sec: m.P95, P50Sec: m.P50, AchievedQPS: m.AchievedQPS,
+			})
+			sums[pol].reuse += m.ReusedBytesFrac
+			sums[pol].p95 += m.P95
+		}
+	}
+	reuseGain, p95Speedup := 0.0, 0.0
+	if sums["lru"].reuse > 0 {
+		reuseGain = sums["cost"].reuse / sums["lru"].reuse
+	}
+	if sums["cost"].p95 > 0 {
+		p95Speedup = sums["lru"].p95 / sums["cost"].p95
+	}
+	out := struct {
+		Benchmark  string  `json:"benchmark"`
+		BudgetMB   int64   `json:"budget_mb"`
+		Queries    int     `json:"queries"`
+		Points     []point `json:"points"`
+		ReuseGain  float64 `json:"cost_reuse_gain"`
+		P95Speedup float64 `json:"cost_p95_speedup"`
+	}{Benchmark: "BenchmarkCacheSweep", BudgetMB: 32, Queries: n, Points: pts,
+		ReuseGain: reuseGain, P95Speedup: p95Speedup}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*cacheOut, append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

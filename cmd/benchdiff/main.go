@@ -3,15 +3,18 @@
 // when any throughput metric regresses beyond the tolerance, turning the
 // previously upload-only artifacts into a pass/fail check.
 //
-// It understands the four result formats the repository commits:
+// It understands the five result formats the repository commits:
 // BENCH_scaling.json (BenchmarkScaling: qps per thread count),
 // BENCH_disk.json (BenchmarkDiskSweep: pages/sec per discipline plus the
 // elevator speedup), BENCH_load.json (mqload: achieved qps per strategy and
-// offered rate), and BENCH_kernels.json (the {vm, vol, large_query} kernel
+// offered rate), BENCH_cache.json (BenchmarkCacheSweep: reused-bytes
+// fraction and achieved qps per cache policy and rate, plus the cost-over-lru
+// reuse-gain and p95-speedup ratios — all deterministic virtual-time
+// numbers), and BENCH_kernels.json (the {vm, vol, large_query} kernel
 // composite; only the opt-vs-ref speedup ratios are gated — absolute MB/s
 // varies too much across runner hardware). Only higher-is-better metrics are
 // gated — absolute latencies vary too much across runner hardware to
-// compare.
+// compare, so lower-is-better latencies gate via ratios.
 //
 // Usage:
 //
@@ -119,6 +122,33 @@ func metricsOf(data []byte) (kind string, metrics map[string]float64, err error)
 		}
 		if f.Speedup != 0 {
 			metrics["elevator speedup"] = f.Speedup
+		}
+	case "BenchmarkCacheSweep":
+		var f struct {
+			Points []struct {
+				Policy      string  `json:"policy"`
+				RateQPS     float64 `json:"rate_qps"`
+				ReusedFrac  float64 `json:"reused_frac"`
+				AchievedQPS float64 `json:"achieved_qps"`
+			} `json:"points"`
+			ReuseGain  float64 `json:"cost_reuse_gain"`
+			P95Speedup float64 `json:"cost_p95_speedup"`
+		}
+		if err := json.Unmarshal(data, &f); err != nil {
+			return "", nil, err
+		}
+		// The sweep runs on virtual time, so every metric here is
+		// deterministic and gates; p95 itself is lower-is-better and is
+		// gated through the cost/lru speedup ratio instead.
+		for _, p := range f.Points {
+			metrics[fmt.Sprintf("%s rate=%g reused_frac", p.Policy, p.RateQPS)] = p.ReusedFrac
+			metrics[fmt.Sprintf("%s rate=%g qps", p.Policy, p.RateQPS)] = p.AchievedQPS
+		}
+		if f.ReuseGain != 0 {
+			metrics["cost reuse gain"] = f.ReuseGain
+		}
+		if f.P95Speedup != 0 {
+			metrics["cost p95 speedup"] = f.P95Speedup
 		}
 	case "mqload":
 		var f struct {

@@ -87,6 +87,60 @@ func TestMetricsOfLoad(t *testing.T) {
 	}
 }
 
+const cacheJSON = `{
+  "benchmark": "BenchmarkCacheSweep",
+  "budget_mb": 32,
+  "queries": 800,
+  "points": [
+    {"policy": "lru", "rate_qps": 50, "reused_frac": 0.64, "p95_s": 241.0, "achieved_qps": 2.47},
+    {"policy": "cost", "rate_qps": 50, "reused_frac": 0.67, "p95_s": 227.0, "achieved_qps": 2.59}
+  ],
+  "cost_reuse_gain": 1.035,
+  "cost_p95_speedup": 1.033
+}`
+
+func TestMetricsOfCacheSweep(t *testing.T) {
+	kind, m, err := metricsOf([]byte(cacheJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "BenchmarkCacheSweep" {
+		t.Fatalf("kind %q", kind)
+	}
+	want := map[string]float64{
+		"lru rate=50 reused_frac":  0.64,
+		"lru rate=50 qps":          2.47,
+		"cost rate=50 reused_frac": 0.67,
+		"cost rate=50 qps":         2.59,
+		"cost reuse gain":          1.035,
+		"cost p95 speedup":         1.033,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v (all: %v)", k, m[k], v, m)
+		}
+	}
+	// p95 is lower-is-better: it must gate only through the speedup ratio.
+	if len(m) != len(want) {
+		t.Fatalf("want %d metrics, got %v", len(want), m)
+	}
+}
+
+// TestMetricsOfCommittedCacheBaseline: the committed BENCH_cache.json parses
+// and records the cost policy beating lru on both gated ratios.
+func TestMetricsOfCommittedCacheBaseline(t *testing.T) {
+	kind, m, err := metricsOfFile("../../BENCH_cache.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "BenchmarkCacheSweep" {
+		t.Fatalf("kind %q", kind)
+	}
+	if m["cost reuse gain"] <= 1 || m["cost p95 speedup"] <= 1 {
+		t.Fatalf("baseline does not show the cost policy winning: %v", m)
+	}
+}
+
 const kernelsJSON = `{
   "vm": {
     "benchmark": "BenchmarkKernels",

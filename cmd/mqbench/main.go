@@ -41,6 +41,7 @@ func main() {
 		ioBatch  = flag.Int("io-batch", 0, "max distinct pages per merged elevator transfer (0 = default 16)")
 		ioDelay  = flag.Int("io-maxdelay", 0, "elevator starvation bound in bypassing dispatches (0 = default 8, negative = unbounded)")
 		psPre    = flag.Int("psprefetch", 0, "cap on concurrent background page prefetches (0 = 2x spindles, negative = unlimited)")
+		dsPolicy = flag.String("ds-policy", "lru", "data store cache policy: lru (the paper's cache-everything store) or cost (benefit-aware eviction + admission + materialization)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		slideSz  = flag.Int64("slide-side", 0, "slide edge in pixels (0 = the paper's 30000); small values keep -trace-out captures compact")
 		csvDir   = flag.String("csv", "", "directory to write CSV copies of each table")
@@ -88,6 +89,7 @@ func main() {
 		Seed:               *seed,
 		SlideSide:          *slideSz,
 		PSPrefetchLimit:    *psPre,
+		DSPolicy:           *dsPolicy,
 		ComputeParallelism: *computeW,
 	}
 

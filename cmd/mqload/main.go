@@ -209,7 +209,10 @@ type point struct {
 	Dropped     int     `json:"dropped"`
 	Errors      int     `json:"errors"`
 	MeanReuse   float64 `json:"mean_reuse"`
-	Lat         latMS   `json:"lat_ms"`
+	// ServerReusedFrac is the byte-weighted reuse fraction from the
+	// server's output counters over the phase (0 when the scrape failed).
+	ServerReusedFrac float64 `json:"server_reused_frac"`
+	Lat              latMS   `json:"lat_ms"`
 }
 
 type latMS struct {
@@ -222,13 +225,14 @@ type latMS struct {
 
 func pointFrom(res load.Result) point {
 	return point{
-		OfferedQPS:  res.Offered,
-		AchievedQPS: round2(res.AchievedQPS),
-		Sent:        res.Sent,
-		Completed:   res.Completed,
-		Dropped:     res.Dropped,
-		Errors:      res.Errors,
-		MeanReuse:   round2(res.MeanReuse),
+		OfferedQPS:       res.Offered,
+		AchievedQPS:      round2(res.AchievedQPS),
+		Sent:             res.Sent,
+		Completed:        res.Completed,
+		Dropped:          res.Dropped,
+		Errors:           res.Errors,
+		MeanReuse:        round2(res.MeanReuse),
+		ServerReusedFrac: round2(res.ServerReusedFrac),
 		Lat: latMS{
 			P50:  round2(res.Latency.Quantile(50)),
 			P95:  round2(res.Latency.Quantile(95)),

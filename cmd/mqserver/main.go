@@ -43,6 +43,8 @@ func main() {
 		policy     = flag.String("policy", "cf", "ranking strategy: fifo, muf, ff, cf, cnbf, sjf")
 		threads    = flag.Int("threads", 4, "query threads")
 		dsMB       = flag.Int64("ds", 64, "data store MB (-1 disables caching)")
+		dsPolicy   = flag.String("ds-policy", "lru", "data store cache policy: lru (the paper's cache-everything store) or cost (benefit-aware eviction + admission control + proactive materialization)")
+		dsMatLimit = flag.Int("ds-materialize", 0, "max concurrent proactive-materialization queries under -ds-policy=cost (0 = default 2, negative disables)")
 		psMB       = flag.Int64("ps", 32, "page space MB")
 		timeScale  = flag.Float64("timescale", 0.002, "compression of modelled disk time")
 		metricsAt  = flag.String("metrics", ":9124", "HTTP listen address for the /metrics, /trace, and /debug/pprof endpoints (empty disables)")
@@ -76,6 +78,8 @@ func main() {
 		IOBatchPages:        *ioBatch,
 		IOMaxDelay:          *ioDelay,
 		DSBudget:            dsBudget,
+		DSPolicy:            *dsPolicy,
+		DSMaterializeLimit:  *dsMatLimit,
 		PSBudget:            *psMB * (1 << 20),
 		TimeScale:           *timeScale,
 		EnableMetrics:       true,

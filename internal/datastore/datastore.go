@@ -6,16 +6,29 @@
 // submitted to the system" (paper §2).
 //
 // Insert is the malloc-with-meta-data operation; Lookup is the overlap-based
-// search the query server uses to find reusable results. Entries are evicted
-// least-recently-used when the byte budget is exceeded; an eviction fires
-// the OnEvict hook so the scheduler can move the corresponding query node to
+// search the query server uses to find reusable results. Eviction fires the
+// OnEvict hook so the scheduler can move the corresponding query node to
 // SWAPPED OUT and drop it from the scheduling graph.
+//
+// Two cache policies are provided (Options.Policy). The default, PolicyLRU,
+// is the paper's cache-everything/evict-by-recency behaviour. PolicyCost is
+// a benefit-aware cache: each entry carries a value model (observed
+// projection hits, bytes projected out, estimated recompute cost fed from
+// the server's execution timings), eviction picks the entry with the lowest
+// GDSF-style priority, admission control rejects newcomers whose aged
+// priority does not reach the entries they would displace (each reject ages
+// the cache and losers are ghost-tracked, so repeat offenders and fresh
+// streams both get admitted within a few rounds), and hot regions that keep
+// missing promote proactive-materialization hints for coarse parent
+// aggregates finer queries can project from (Equation 4).
 package datastore
 
 import (
+	"math"
 	"sort"
 	"sync"
 
+	"mqsched/internal/geom"
 	"mqsched/internal/metrics"
 	"mqsched/internal/query"
 	"mqsched/internal/spatial"
@@ -33,6 +46,15 @@ type Entry struct {
 	// lastUse orders LRU eviction; it is a logical counter, not a clock, so
 	// behaviour is identical on the simulated and real runtimes.
 	lastUse int64
+
+	// Value model (PolicyCost): hits counts actual projections out of this
+	// entry, projected the bytes they handed out, cost the estimated seconds
+	// to recompute the result, prio the aged GDSF priority (clock at last
+	// value change plus benefit).
+	hits      int64
+	projected int64
+	cost      float64
+	prio      float64
 }
 
 // Meta returns the predicate the stored result answers.
@@ -59,6 +81,42 @@ func (e *Entry) Evicted() bool {
 	return e.evicted
 }
 
+// MarkProjected records that the caller actually projected this entry into a
+// query output: it charges the entry's size to the reused-bytes accounting
+// and feeds the entry's value model. The server calls it once per performed
+// projection — not per lookup candidate, which would over-count entries that
+// are pinned by a lookup but skipped because an earlier candidate already
+// covered the query.
+func (e *Entry) MarkProjected() {
+	m := e.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e.hits++
+	e.projected += e.Blob.Size
+	m.st.ReusedBytes += e.Blob.Size
+	m.mx.reusedBytes.Add(e.Blob.Size)
+	if m.opts.Policy == PolicyCost && !e.evicted {
+		e.prio = m.clock + e.benefit()
+	}
+}
+
+// Hits returns the number of times the entry was projected into an output.
+func (e *Entry) Hits() int64 {
+	e.m.mu.Lock()
+	defer e.m.mu.Unlock()
+	return e.hits
+}
+
+// benefit is the entry's value density: expected reuse × recompute cost per
+// byte. The frequency term is damped logarithmically — browsing workloads are
+// recency-skewed, and a linear hit multiplier lets long-resident entries
+// build an incumbency moat that starves newcomers at admission time.
+// Callers hold the manager's lock.
+func (e *Entry) benefit() float64 {
+	freq := 1 + math.Log2(1+float64(e.hits))
+	return freq * e.cost / float64(max(e.Blob.Size, 1))
+}
+
 // Stats are cumulative DS counters.
 type Stats struct {
 	Inserts     int64
@@ -67,6 +125,18 @@ type Stats struct {
 	Lookups     int64
 	LookupHits  int64 // lookups returning at least one candidate
 	BytesStored int64 // current resident bytes (gauge)
+	// ReusedBytes counts bytes of stored results actually projected into
+	// query outputs (MarkProjected), not merely handed out by lookups.
+	ReusedBytes int64
+	// AdmitRejects counts results refused by admission control (PolicyCost):
+	// their expected benefit did not beat the entries they would displace.
+	AdmitRejects int64
+	// GhostHits counts inserts whose predicate was found in the ghost list —
+	// evidence a previously rejected or evicted result is being reproduced.
+	GhostHits int64
+	// MaterializeHints counts proactive-materialization hints emitted for
+	// hot regions (PolicyCost; consumed via TakeHints).
+	MaterializeHints int64
 }
 
 // Options configure the manager.
@@ -77,6 +147,22 @@ type Options struct {
 	// Metrics, when non-nil, receives the manager's counters and gauges
 	// (mqsched_datastore_*). A nil registry costs one nil check per event.
 	Metrics *metrics.Registry
+	// Policy selects the admission/eviction behaviour (default PolicyLRU,
+	// the paper's cache-everything/evict-by-recency data store).
+	Policy Policy
+	// GhostCap bounds the ghost list of rejected/evicted predicates under
+	// PolicyCost (default 2048; 0 uses the default, negative disables).
+	GhostCap int
+	// MaterializeThreshold is the number of lookup probes a hot cell must
+	// accumulate before it may emit a materialization hint under PolicyCost
+	// (default 16; negative disables materialization).
+	MaterializeThreshold int
+	// MaterializeCell is the hot-region accounting cell side in base pixels
+	// (default 8192).
+	MaterializeCell int64
+	// MaterializeMaxBytes caps the output size of a hinted parent aggregate
+	// (default Budget/4).
+	MaterializeMaxBytes int64
 }
 
 // dsMetrics are the registry handles; the zero value (all nil) disables
@@ -86,10 +172,11 @@ type dsMetrics struct {
 	reusedBytes                           *metrics.Counter
 	inserts, rejected, evictions          *metrics.Counter
 	swappedOutBytes                       *metrics.Counter
+	admitRejects, ghostHits, matHints     *metrics.Counter
 	residentBytes, entries                *metrics.Gauge
 }
 
-func newDSMetrics(reg *metrics.Registry) dsMetrics {
+func newDSMetrics(reg *metrics.Registry, policy Policy) dsMetrics {
 	if reg == nil {
 		return dsMetrics{}
 	}
@@ -98,12 +185,15 @@ func newDSMetrics(reg *metrics.Registry) dsMetrics {
 			"Data store lookups by outcome: full (an exact or fully covering result), partial, or miss.",
 			metrics.L("result", result))
 	}
+	reg.Gauge("mqsched_datastore_policy_info",
+		"Active cache policy: constant 1, labelled with the policy name.",
+		metrics.L("policy", policy.String())).Set(1)
 	return dsMetrics{
 		lookupFull:    lookups("full"),
 		lookupPartial: lookups("partial"),
 		lookupMiss:    lookups("miss"),
 		reusedBytes: reg.Counter("mqsched_datastore_reused_bytes_total",
-			"Bytes of cached intermediate results handed out to queries by lookups."),
+			"Bytes of cached intermediate results actually projected into query outputs."),
 		inserts: reg.Counter("mqsched_datastore_inserts_total",
 			"Intermediate results stored."),
 		rejected: reg.Counter("mqsched_datastore_rejected_total",
@@ -112,6 +202,12 @@ func newDSMetrics(reg *metrics.Registry) dsMetrics {
 			"Entries swapped out under memory pressure or dropped explicitly."),
 		swappedOutBytes: reg.Counter("mqsched_datastore_swapped_out_bytes_total",
 			"Bytes reclaimed by evictions."),
+		admitRejects: reg.Counter("mqsched_datastore_policy_admit_rejects_total",
+			"Results refused by admission control: expected benefit below the would-be victims'."),
+		ghostHits: reg.Counter("mqsched_datastore_policy_ghost_hits_total",
+			"Inserts whose predicate was found in the ghost list of rejected/evicted results."),
+		matHints: reg.Counter("mqsched_datastore_policy_materialize_hints_total",
+			"Proactive-materialization hints emitted for hot regions."),
 		residentBytes: reg.Gauge("mqsched_datastore_resident_bytes",
 			"Bytes currently stored."),
 		entries: reg.Gauge("mqsched_datastore_entries",
@@ -138,6 +234,33 @@ type Manager struct {
 	entries map[int64]*Entry
 	trees   map[string]*spatial.Tree[*Entry] // per-dataset spatial index
 	st      Stats
+
+	// PolicyCost state. clock is the GDSF aging term: it rises to the
+	// evicted priority on each eviction and to the refused priority on each
+	// admission reject, so entries inserted later start ahead of long-idle
+	// survivors and a run of rejects cannot freeze the cache. costPerByte
+	// is an EWMA of observed
+	// recompute cost per stored byte, the estimate for inserts that arrive
+	// without a measurement (e.g. results answered entirely from cache).
+	clock       float64
+	costPerByte float64
+	ghosts      *ghostList
+	agg         query.Aggregator
+	hot         map[cellKey]*hotCell
+	hints       []query.Meta
+}
+
+// InsertInfo carries the value-model inputs of one insert.
+type InsertInfo struct {
+	// CostSeconds is the observed cost of producing the blob on the
+	// runtime's clock (the server reports execution time minus producer
+	// stalls). Non-positive means unknown; the manager falls back to its
+	// cost-per-byte estimate.
+	CostSeconds float64
+	// Materialized marks a proactively materialized parent aggregate: it
+	// bypasses the admission comparison (the cache asked for it) and starts
+	// with a reuse expectation, so it is not evicted before first use.
+	Materialized bool
 }
 
 // New returns a data store for results of app.
@@ -145,17 +268,42 @@ func New(app query.App, opts Options) *Manager {
 	if opts.Budget == 0 {
 		opts.Budget = 64 << 20
 	}
-	return &Manager{
+	if opts.GhostCap == 0 {
+		opts.GhostCap = 2048
+	}
+	if opts.MaterializeThreshold == 0 {
+		opts.MaterializeThreshold = 16
+	}
+	if opts.MaterializeCell == 0 {
+		opts.MaterializeCell = 8192
+	}
+	if opts.MaterializeMaxBytes == 0 {
+		opts.MaterializeMaxBytes = opts.Budget / 4
+	}
+	m := &Manager{
 		app:     app,
 		opts:    opts,
-		mx:      newDSMetrics(opts.Metrics),
+		mx:      newDSMetrics(opts.Metrics, opts.Policy),
 		entries: map[int64]*Entry{},
 		trees:   map[string]*spatial.Tree[*Entry]{},
 	}
+	if opts.Policy == PolicyCost {
+		if opts.GhostCap > 0 {
+			m.ghosts = newGhostList(opts.GhostCap)
+		}
+		if agg, ok := app.(query.Aggregator); ok && opts.MaterializeThreshold > 0 {
+			m.agg = agg
+			m.hot = map[cellKey]*hotCell{}
+		}
+	}
+	return m
 }
 
 // Budget returns the configured byte budget.
 func (m *Manager) Budget() int64 { return m.opts.Budget }
+
+// Policy returns the active cache policy.
+func (m *Manager) Policy() Policy { return m.opts.Policy }
 
 // Used returns the bytes currently stored.
 func (m *Manager) Used() int64 {
@@ -182,9 +330,13 @@ func (m *Manager) Stats() Stats {
 
 // Insert stores blob, evicting older unpinned entries as needed, and returns
 // the new entry. It returns nil when the result cannot be stored (larger
-// than the whole budget, or the budget is fully pinned) — the query still
-// completes, its result just is not reusable.
-func (m *Manager) Insert(blob *query.Blob) *Entry {
+// than the whole budget, the budget is fully pinned, or — under PolicyCost —
+// admission control refuses it); the query still completes, its result just
+// is not reusable.
+func (m *Manager) Insert(blob *query.Blob) *Entry { return m.InsertWith(blob, InsertInfo{}) }
+
+// InsertWith is Insert with the value-model inputs of the new result.
+func (m *Manager) InsertWith(blob *query.Blob, info InsertInfo) *Entry {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if blob.Size > m.opts.Budget {
@@ -192,14 +344,25 @@ func (m *Manager) Insert(blob *query.Blob) *Entry {
 		m.mx.rejected.Inc()
 		return nil
 	}
+	if m.opts.Policy == PolicyCost {
+		return m.insertCostLocked(blob, info)
+	}
 	if !m.makeRoomLocked(blob.Size) {
 		m.st.Rejected++
 		m.mx.rejected.Inc()
 		return nil
 	}
+	return m.storeLocked(blob, 0, 0, 0)
+}
+
+// storeLocked creates the entry and does the shared bookkeeping.
+func (m *Manager) storeLocked(blob *query.Blob, hits int64, cost, prio float64) *Entry {
 	m.nextID++
 	m.useTick++
-	e := &Entry{ID: m.nextID, Blob: blob, m: m, lastUse: m.useTick}
+	e := &Entry{
+		ID: m.nextID, Blob: blob, m: m, lastUse: m.useTick,
+		hits: hits, cost: cost, prio: prio,
+	}
 	m.entries[e.ID] = e
 	m.treeFor(blob.Meta.Dataset()).Insert(blob.Meta.Region(), e)
 	m.used += blob.Size
@@ -208,6 +371,112 @@ func (m *Manager) Insert(blob *query.Blob) *Entry {
 	m.mx.residentBytes.Set(m.used)
 	m.mx.entries.Set(int64(len(m.entries)))
 	return e
+}
+
+// insertCostLocked is the PolicyCost insert path: estimate the newcomer's
+// benefit, plan the evictions its admission would require, and admit only
+// when it beats the displaced entries (materialized parents always admit
+// into evictable space).
+func (m *Manager) insertCostLocked(blob *query.Blob, info InsertInfo) *Entry {
+	size := max(blob.Size, 1)
+	cost := info.CostSeconds
+	if cost > 0 {
+		// Feed the measurement into the per-byte estimate used for inserts
+		// that arrive without one.
+		obs := cost / float64(size)
+		if m.costPerByte == 0 {
+			m.costPerByte = obs
+		} else {
+			m.costPerByte += 0.2 * (obs - m.costPerByte)
+		}
+	} else {
+		cost = m.costPerByte * float64(size)
+	}
+
+	key := blob.Meta.String()
+	var hits int64
+	if m.ghosts != nil {
+		if ghostHits, ok := m.ghosts.take(key); ok {
+			hits = ghostHits
+			m.st.GhostHits++
+			m.mx.ghostHits.Inc()
+		}
+	}
+	if info.Materialized && hits < 2 {
+		hits = 2
+	}
+	benefit := float64(hits+1) * cost / float64(size)
+
+	prio := m.clock + benefit
+	if need := m.used + blob.Size - m.opts.Budget; need > 0 {
+		victims, freed, maxPrio := m.victimPlanLocked(need)
+		if freed < need {
+			// The budget is too pinned; same outcome as LRU.
+			m.st.Rejected++
+			m.mx.rejected.Inc()
+			m.ghostAddLocked(key, hits+1)
+			return nil
+		}
+		if !info.Materialized && maxPrio > prio {
+			// Admission control: the newcomer's aged priority does not reach
+			// the entries it would displace. The reject itself ages the
+			// cache (a "virtual eviction" — the clock rises to the refused
+			// priority), so a run of rejects cannot freeze the cache: stale
+			// survivors fall behind the clock and newcomers win within a few
+			// rounds unless residents keep re-earning their keep through
+			// projections. Losses are ghost-tracked so a reproduced result
+			// carries its history into the next attempt.
+			m.clock = prio
+			m.st.AdmitRejects++
+			m.mx.admitRejects.Inc()
+			m.ghostAddLocked(key, hits+1)
+			return nil
+		}
+		for _, v := range victims {
+			m.evictLocked(v)
+		}
+		// GDSF aging: future inserts start at the evicted priority level.
+		if maxPrio > m.clock {
+			m.clock = maxPrio
+			prio = m.clock + benefit
+		}
+	}
+	return m.storeLocked(blob, hits, cost, prio)
+}
+
+// victimPlanLocked collects the lowest-priority unpinned entries until their
+// sizes cover need, reporting the bytes they free and the highest aged
+// priority among them (the bar a newcomer must reach for admission).
+func (m *Manager) victimPlanLocked(need int64) (victims []*Entry, freed int64, maxPrio float64) {
+	cands := make([]*Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		if e.pins == 0 {
+			cands = append(cands, e)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].prio != cands[j].prio {
+			return cands[i].prio < cands[j].prio
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	for _, e := range cands {
+		if freed >= need {
+			break
+		}
+		victims = append(victims, e)
+		freed += e.Blob.Size
+		if e.prio > maxPrio {
+			maxPrio = e.prio
+		}
+	}
+	return victims, freed, maxPrio
+}
+
+func (m *Manager) ghostAddLocked(key string, hits int64) {
+	if m.ghosts != nil {
+		m.ghosts.add(key, hits)
+	}
 }
 
 // makeRoomLocked evicts LRU unpinned entries until size fits, reporting
@@ -248,6 +517,11 @@ func (m *Manager) evictLocked(e *Entry) {
 	m.mx.swappedOutBytes.Add(e.Blob.Size)
 	m.mx.residentBytes.Set(m.used)
 	m.mx.entries.Set(int64(len(m.entries)))
+	if m.opts.Policy == PolicyCost {
+		// Remember the evicted predicate: if the result is reproduced it
+		// carries its reuse history into the admission decision.
+		m.ghostAddLocked(e.Blob.Meta.String(), e.hits+1)
+	}
 	if m.OnEvict != nil {
 		m.OnEvict(e)
 	}
@@ -264,6 +538,8 @@ type Candidate struct {
 // whose region intersects dst's and whose user-defined overlap (Equation 2)
 // is at least minOverlap (> 0). Results are pinned — the caller must Unpin
 // each one — and sorted by decreasing overlap, exact matches (Cmp) first.
+// Candidates are not charged as reused here: the caller reports actual use
+// per projection via Entry.MarkProjected.
 func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
 	if minOverlap <= 0 {
 		minOverlap = 1e-12
@@ -274,6 +550,7 @@ func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
 	tree, ok := m.trees[dst.Dataset()]
 	if !ok {
 		m.mx.lookupMiss.Inc()
+		m.observeProbeLocked(dst, false)
 		return nil
 	}
 	var out []Candidate
@@ -286,6 +563,7 @@ func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
 	}
 	if len(out) == 0 {
 		m.mx.lookupMiss.Inc()
+		m.observeProbeLocked(dst, false)
 		return nil
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -301,20 +579,93 @@ func (m *Manager) Lookup(dst query.Meta, minOverlap float64) []Candidate {
 		return ci.Entry.ID < cj.Entry.ID
 	})
 	m.useTick++
-	var handedOut int64
 	for _, c := range out {
 		c.Entry.pins++
 		c.Entry.lastUse = m.useTick
-		handedOut += c.Entry.Blob.Size
 	}
 	m.st.LookupHits++
-	if m.app.Cmp(out[0].Entry.Blob.Meta, dst) || out[0].Overlap >= 1 {
+	full := m.app.Cmp(out[0].Entry.Blob.Meta, dst) || out[0].Overlap >= 1
+	if full {
 		m.mx.lookupFull.Inc()
 	} else {
 		m.mx.lookupPartial.Inc()
 	}
-	m.mx.reusedBytes.Add(handedOut)
+	m.observeProbeLocked(dst, full)
 	return out
+}
+
+// observeProbeLocked feeds the hot-region tracker (PolicyCost with an
+// Aggregator application): cells seeing many probes that the cache cannot
+// fully answer promote a parent-aggregate materialization hint.
+func (m *Manager) observeProbeLocked(dst query.Meta, full bool) {
+	if m.hot == nil {
+		return
+	}
+	r := dst.Region()
+	cell := m.opts.MaterializeCell
+	key := cellKey{
+		ds: dst.Dataset(),
+		cx: geom.FloorDiv((r.X0+r.X1)/2, cell),
+		cy: geom.FloorDiv((r.Y0+r.Y1)/2, cell),
+	}
+	c := m.hot[key]
+	if c == nil {
+		c = &hotCell{}
+		m.hot[key] = c
+	}
+	c.observe(dst, full)
+	if c.probes >= m.opts.MaterializeThreshold {
+		if 2*c.fulls < c.probes {
+			m.hintLocked(c)
+		}
+		delete(m.hot, key)
+	}
+}
+
+// hintCap bounds pending materialization hints; excess cells re-trigger
+// after another probe round.
+const hintCap = 8
+
+// hintLocked asks the application for a parent predicate covering the hot
+// cell and queues it as a materialization hint, unless it is oversized,
+// already resident, or already pending.
+func (m *Manager) hintLocked(c *hotCell) {
+	if len(m.hints) >= hintCap {
+		return
+	}
+	parent, ok := m.agg.ParentMeta(c.samples, c.union)
+	if !ok {
+		return
+	}
+	if m.app.QOutSize(parent) > m.opts.MaterializeMaxBytes {
+		return
+	}
+	if tree := m.trees[parent.Dataset()]; tree != nil {
+		for _, e := range tree.Search(parent.Region(), nil) {
+			if m.app.Cmp(e.Blob.Meta, parent) || m.app.Overlap(e.Blob.Meta, parent) >= 1 {
+				return // an equal or covering result is already cached
+			}
+		}
+	}
+	for _, h := range m.hints {
+		if m.app.Cmp(h, parent) {
+			return
+		}
+	}
+	m.hints = append(m.hints, parent)
+	m.st.MaterializeHints++
+	m.mx.matHints.Inc()
+}
+
+// TakeHints drains the pending materialization hints: predicates of parent
+// aggregates the cache wants computed. The server submits them as ordinary
+// queries (rate-limited on its side); their results insert as Materialized.
+func (m *Manager) TakeHints() []query.Meta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hints
+	m.hints = nil
+	return h
 }
 
 // LookupTraced is Lookup recorded as a span under sp (subsystem
@@ -347,6 +698,9 @@ func (m *Manager) Touch(e *Entry) {
 	if !e.evicted {
 		m.useTick++
 		e.lastUse = m.useTick
+		if m.opts.Policy == PolicyCost {
+			e.prio = m.clock + e.benefit()
+		}
 	}
 }
 

@@ -1,0 +1,132 @@
+package datastore
+
+import (
+	"fmt"
+
+	"mqsched/internal/geom"
+	"mqsched/internal/query"
+)
+
+// Policy selects the manager's admission/eviction behaviour.
+type Policy int
+
+const (
+	// PolicyLRU is the paper's behaviour: cache every result that fits and
+	// evict by pure recency. It is the default and reproduces the pre-policy
+	// manager's eviction order exactly (a differential test pins this).
+	PolicyLRU Policy = iota
+	// PolicyCost is the benefit-aware cache: eviction by GDSF-style priority
+	// (observed hits × recompute cost / size, aged by an eviction clock),
+	// admission control with a ghost list for rejected/evicted predicates,
+	// and proactive materialization hints for hot regions.
+	PolicyCost
+)
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyCost:
+		return "cost"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts a flag value to a Policy; the empty string selects
+// the default (lru).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "lru":
+		return PolicyLRU, nil
+	case "cost":
+		return PolicyCost, nil
+	}
+	return 0, fmt.Errorf("datastore: unknown cache policy %q (want lru or cost)", s)
+}
+
+// ghostList remembers predicates of results that were recently rejected by
+// admission control or evicted, without holding their bytes. A re-insert of
+// a ghosted predicate is evidence of reuse: its recorded count feeds the
+// newcomer's expected-benefit estimate, so repeatedly produced results win
+// admission even against an established population. Bounded FIFO.
+type ghostList struct {
+	cap  int
+	m    map[string]int64
+	fifo []string
+}
+
+func newGhostList(capacity int) *ghostList {
+	return &ghostList{cap: capacity, m: make(map[string]int64)}
+}
+
+// add records (or refreshes) a ghost with the given expected-reuse count.
+func (g *ghostList) add(key string, hits int64) {
+	if g.cap <= 0 {
+		return
+	}
+	if old, ok := g.m[key]; ok {
+		if hits > old {
+			g.m[key] = hits
+		}
+		return
+	}
+	g.m[key] = hits
+	g.fifo = append(g.fifo, key)
+	for len(g.m) > g.cap && len(g.fifo) > 0 {
+		oldest := g.fifo[0]
+		g.fifo = g.fifo[1:]
+		delete(g.m, oldest)
+	}
+}
+
+// take removes and returns the ghost's count, reporting whether it existed.
+// The stale fifo slot is reclaimed lazily on overflow.
+func (g *ghostList) take(key string) (int64, bool) {
+	hits, ok := g.m[key]
+	if ok {
+		delete(g.m, key)
+	}
+	return hits, ok
+}
+
+func (g *ghostList) len() int { return len(g.m) }
+
+// cellKey addresses one hot-region accounting cell: a dataset and a fixed
+// grid cell in base-resolution coordinates.
+type cellKey struct {
+	ds     string
+	cx, cy int64
+}
+
+// hotCell accumulates lookup probes landing in one cell. When enough probes
+// arrive and most of them were not fully answered from the cache, the cell
+// is promoted into a materialization hint (see Manager.hintLocked).
+type hotCell struct {
+	probes  int
+	fulls   int // probes answered by an exact or fully covering candidate
+	union   geom.Rect
+	samples []query.Meta
+}
+
+// hotSampleCap bounds the predicate samples kept per cell; the application's
+// Aggregator derives the parent predicate (zoom ladder, op) from them.
+const hotSampleCap = 8
+
+func (c *hotCell) observe(dst query.Meta, full bool) {
+	c.probes++
+	if full {
+		c.fulls++
+	}
+	r := dst.Region()
+	if c.union.Empty() {
+		c.union = r
+	} else {
+		c.union = c.union.Union(r)
+	}
+	if len(c.samples) < hotSampleCap {
+		c.samples = append(c.samples, dst)
+	} else {
+		c.samples[c.probes%hotSampleCap] = dst
+	}
+}

@@ -54,6 +54,14 @@ type Config struct {
 	// DSBudget is the data store memory (default 64 MB); -1 disables the
 	// data store entirely (the caching-off baseline).
 	DSBudget int64
+	// DSPolicy selects the data store's cache policy: "lru" (default, the
+	// paper's cache-everything store) or "cost" (benefit-aware eviction,
+	// admission control, proactive materialization).
+	DSPolicy string
+	// DSMaterializeLimit bounds concurrent proactive-materialization
+	// queries under the cost policy (0 = the server's default of 2,
+	// negative disables acting on hints).
+	DSMaterializeLimit int
 	// PSBudget is the page space memory (default 32 MB).
 	PSBudget int64
 	// Batch submits all queries at once (Figure 7); otherwise clients are
@@ -243,7 +251,15 @@ func assemble(cfg Config) (*system, error) {
 	})
 	var ds *datastore.Manager
 	if cfg.DSBudget >= 0 {
-		ds = datastore.New(app, datastore.Options{Budget: cfg.DSBudget, Metrics: cfg.Metrics})
+		dsPolicy, err := datastore.ParsePolicy(cfg.DSPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		ds = datastore.New(app, datastore.Options{
+			Budget:  cfg.DSBudget,
+			Policy:  dsPolicy,
+			Metrics: cfg.Metrics,
+		})
 	}
 	policy, ok := sched.ByName(cfg.Policy, app)
 	switch {
@@ -274,6 +290,7 @@ func assemble(cfg Config) (*system, error) {
 		Threads:            cfg.Threads,
 		BlockOnExecuting:   cfg.BlockOnExecuting,
 		ComputeParallelism: cfg.ComputeParallelism,
+		MaterializeLimit:   cfg.DSMaterializeLimit,
 		Spans:              spans,
 		Metrics:            cfg.Metrics,
 	})

@@ -5,9 +5,11 @@ import (
 	"sync"
 	"time"
 
+	"mqsched/internal/datastore"
 	"mqsched/internal/load"
 	"mqsched/internal/query"
 	"mqsched/internal/rt"
+	"mqsched/internal/server"
 	"mqsched/internal/stats"
 )
 
@@ -26,8 +28,17 @@ type LoadMetrics struct {
 	P50, P95, P99, Max, Mean float64
 	// MeanReuse is the mean reused fraction of measured queries.
 	MeanReuse float64
+	// ReusedBytesFrac is the fraction of all output bytes produced by
+	// projection rather than raw computation, over the whole run — the
+	// byte-weighted counterpart of MeanReuse and the cache-policy sweep's
+	// primary figure of merit.
+	ReusedBytesFrac float64
 	// FinalTime is the virtual instant the last query completed.
 	FinalTime time.Duration
+	// Server and DataStore are the end-of-run subsystem counters (DataStore
+	// is zero when the run disabled the data store).
+	Server    server.Stats
+	DataStore datastore.Stats
 }
 
 // RunLoad offers an open-loop query stream (load.Build) to the simulated
@@ -132,6 +143,13 @@ func RunLoad(cfg Config, items []load.Item, warmup time.Duration) (LoadMetrics, 
 	}
 	if measured > 0 {
 		m.MeanReuse = reuseSum / float64(measured)
+	}
+	m.Server = sys.srv.Stats()
+	if sys.ds != nil {
+		m.DataStore = sys.ds.Stats()
+	}
+	if out := m.Server.ReusedOutputBytes + m.Server.ComputedOutputBytes; out > 0 {
+		m.ReusedBytesFrac = float64(m.Server.ReusedOutputBytes) / float64(out)
 	}
 	return m, nil
 }

@@ -106,3 +106,42 @@ func TestRunLoadValidation(t *testing.T) {
 		t.Error("unknown policy should fail")
 	}
 }
+
+// TestRunLoadCostPolicy runs the same stream under both cache policies:
+// deterministic, policy propagated, and the cost policy's accounting
+// populated (stats flow through to LoadMetrics).
+func TestRunLoadCostPolicy(t *testing.T) {
+	items := loadStream(t, 100, 200)
+	lru, err := RunLoad(Config{Policy: "cnbf", Op: vm.Subsample}, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := RunLoad(Config{Policy: "cnbf", Op: vm.Subsample, DSPolicy: "cost"}, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunLoad(Config{Policy: "cnbf", Op: vm.Subsample, DSPolicy: "cost"}, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != again {
+		t.Fatalf("cost-policy runs not deterministic:\n%+v\n%+v", cost, again)
+	}
+	if lru.DataStore.AdmitRejects != 0 || lru.DataStore.GhostHits != 0 {
+		t.Fatalf("lru run shows cost-policy accounting: %+v", lru.DataStore)
+	}
+	if lru.ReusedBytesFrac <= 0 || cost.ReusedBytesFrac <= 0 {
+		t.Fatalf("reused-bytes fraction not populated: lru %v, cost %v",
+			lru.ReusedBytesFrac, cost.ReusedBytesFrac)
+	}
+	// Materialized parents are submitted by the server itself, on top of the
+	// stream's queries.
+	if lru.Server.Completed != int64(len(items)) ||
+		cost.Server.Completed != int64(len(items))+cost.Server.Materializations {
+		t.Fatalf("server stats not propagated: lru %+v cost %+v", lru.Server, cost.Server)
+	}
+	// Unknown policy is rejected up front.
+	if _, err := RunLoad(Config{DSPolicy: "mru"}, items, 0); err == nil {
+		t.Error("unknown DS policy should fail")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -91,6 +93,11 @@ type Result struct {
 	// MeanReuse is the mean server-reported reused fraction of measured
 	// queries.
 	MeanReuse float64
+	// ServerReusedFrac is the byte-weighted reuse fraction over the whole
+	// phase, computed from the server's reused/computed output-byte counters
+	// scraped before and after the phase (0 when the scrape failed or the
+	// server produced no output bytes).
+	ServerReusedFrac float64
 }
 
 // record is one per-query JSONL line for offline analysis (mqviz).
@@ -117,8 +124,14 @@ func Run(cfg RunnerConfig, items []Item, offered float64) (Result, error) {
 
 	pool := netproto.NewPool(cfg.Addr, cfg.Workers, cfg.DialTimeout)
 	defer pool.Close()
-	// Fail fast if the server is unreachable, before starting the clock.
-	if _, err := pool.Get().Do(&netproto.Request{Verb: netproto.VerbMetrics}); err != nil {
+	// Fail fast if the server is unreachable or unhealthy, before starting
+	// the clock. A transport success with an application-level error (e.g. a
+	// server refusing the verb) is just as fatal as a failed dial.
+	probe, err := pool.Get().Do(&netproto.Request{Verb: netproto.VerbMetrics})
+	if err == nil && probe.Err != "" {
+		err = fmt.Errorf("server error: %s", probe.Err)
+	}
+	if err != nil {
 		return Result{}, fmt.Errorf("load: probing %s: %w", cfg.Addr, err)
 	}
 
@@ -209,12 +222,66 @@ func Run(cfg RunnerConfig, items []Item, offered float64) (Result, error) {
 	wg.Wait()
 
 	res.Elapsed = time.Since(start)
-	res.MeasuredTime = res.Elapsed - cfg.Warmup
+	res.MeasuredTime = measuredWindow(res.Elapsed, cfg.Warmup)
 	if res.MeasuredTime > 0 {
 		res.AchievedQPS = float64(res.Measured) / res.MeasuredTime.Seconds()
 	}
 	if res.Measured > 0 {
 		res.MeanReuse = reuseSum / float64(res.Measured)
 	}
+	// Re-scrape the server's output-byte counters; the delta over the phase
+	// gives the byte-weighted reuse fraction. A failed scrape only costs
+	// this one derived field, never the phase.
+	if after, err := pool.Get().Do(&netproto.Request{Verb: netproto.VerbMetrics}); err == nil && after.Err == "" {
+		res.ServerReusedFrac = reusedFracDelta(probe.Metrics, after.Metrics)
+	}
 	return res, nil
+}
+
+// measuredWindow is the post-warmup portion of the phase. A phase that ends
+// before the warmup elapses (server died, stream exhausted early) reports a
+// zero window rather than a negative one, which would flip AchievedQPS's
+// sign downstream.
+func measuredWindow(elapsed, warmup time.Duration) time.Duration {
+	if elapsed <= warmup {
+		return 0
+	}
+	return elapsed - warmup
+}
+
+// reusedFracDelta computes reused / (reused + computed) output bytes from
+// two Prometheus text scrapes taken before and after the phase.
+func reusedFracDelta(before, after string) float64 {
+	reused := counterValue(after, "mqsched_server_reused_output_bytes_total") -
+		counterValue(before, "mqsched_server_reused_output_bytes_total")
+	computed := counterValue(after, "mqsched_server_computed_output_bytes_total") -
+		counterValue(before, "mqsched_server_computed_output_bytes_total")
+	if total := reused + computed; total > 0 {
+		return reused / total
+	}
+	return 0
+}
+
+// counterValue sums the samples of one metric in a Prometheus text
+// exposition, matching both bare and labelled sample lines. Absent metrics
+// contribute zero.
+func counterValue(text, name string) float64 {
+	var sum float64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+			sum += v
+		}
+	}
+	return sum
 }

@@ -27,10 +27,11 @@ func testTable4k() *dataset.Table {
 func liveServer(t *testing.T) string {
 	t.Helper()
 	sys, err := mqsched.New(mqsched.Config{
-		Mode:      mqsched.Real,
-		Policy:    "cnbf",
-		Threads:   4,
-		TimeScale: 0.0005,
+		Mode:          mqsched.Real,
+		Policy:        "cnbf",
+		Threads:       4,
+		TimeScale:     0.0005,
+		EnableMetrics: true,
 	}, mqsched.NewSlideTable(
 		mqsched.Slide{Name: "slide1", Width: 4096, Height: 4096},
 		mqsched.Slide{Name: "slide2", Width: 4096, Height: 4096},
@@ -136,5 +137,91 @@ func TestRunnerConfigValidate(t *testing.T) {
 	}
 	if err := (RunnerConfig{Addr: "localhost:9123"}).Validate(); err != nil {
 		t.Errorf("defaulted config should validate: %v", err)
+	}
+}
+
+// TestRunnerProbeServerError: a reachable server that answers the health
+// probe with an application-level error must fail the phase before any
+// queries are sent — previously only transport errors were checked.
+func TestRunnerProbeServerError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				c := netproto.NewConn(conn)
+				defer conn.Close()
+				for {
+					if _, err := c.ReadRequest(); err != nil {
+						return
+					}
+					if err := c.WriteResponse(&netproto.Response{Err: "server on fire"}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	items := Build(testGenConfig(), testTable4k(), ArrivalConfig{Process: Constant, Rate: 10}, 3)
+	_, err = Run(RunnerConfig{Addr: l.Addr().String()}, items, 10)
+	if err == nil || !strings.Contains(err.Error(), "probing") || !strings.Contains(err.Error(), "server on fire") {
+		t.Fatalf("want probe failure carrying the server error, got %v", err)
+	}
+}
+
+// TestMeasuredWindowClamped: a phase shorter than its warmup reports a zero
+// measured window, never a negative one.
+func TestMeasuredWindowClamped(t *testing.T) {
+	for _, tc := range []struct {
+		elapsed, warmup, want time.Duration
+	}{
+		{10 * time.Second, 2 * time.Second, 8 * time.Second},
+		{time.Second, 2 * time.Second, 0},
+		{2 * time.Second, 2 * time.Second, 0},
+		{time.Second, 0, time.Second},
+	} {
+		if got := measuredWindow(tc.elapsed, tc.warmup); got != tc.want {
+			t.Errorf("measuredWindow(%v, %v) = %v, want %v", tc.elapsed, tc.warmup, got, tc.want)
+		}
+	}
+}
+
+func TestCounterValueAndReusedFracDelta(t *testing.T) {
+	before := `# HELP mqsched_server_reused_output_bytes_total bytes
+# TYPE mqsched_server_reused_output_bytes_total counter
+mqsched_server_reused_output_bytes_total 100
+mqsched_server_computed_output_bytes_total 900
+mqsched_server_reused_output_bytes_total_longer_name 5
+`
+	after := `mqsched_server_reused_output_bytes_total 400
+mqsched_server_computed_output_bytes_total 1100
+`
+	if v := counterValue(before, "mqsched_server_reused_output_bytes_total"); v != 100 {
+		t.Fatalf("counterValue = %v, want 100 (prefix-sharing metric must not match)", v)
+	}
+	if v := counterValue(before, "absent_metric"); v != 0 {
+		t.Fatalf("absent metric = %v", v)
+	}
+	// Labelled samples sum.
+	labelled := `m{a="x"} 1
+m{a="y"} 2
+`
+	if v := counterValue(labelled, "m"); v != 3 {
+		t.Fatalf("labelled sum = %v, want 3", v)
+	}
+	// Delta: reused 300 of 500 new output bytes.
+	if got := reusedFracDelta(before, after); got != 0.6 {
+		t.Fatalf("reusedFracDelta = %v, want 0.6", got)
+	}
+	// No new bytes: zero, not NaN.
+	if got := reusedFracDelta(before, before); got != 0 {
+		t.Fatalf("no-delta frac = %v", got)
 	}
 }

@@ -86,6 +86,20 @@ func BatchOf(pr PageReader) (BatchReader, int) {
 	return nil, 0
 }
 
+// Aggregator is optionally implemented by an App that can name a coarser
+// "parent" predicate covering a hot region, such that the sampled queries
+// (and future ones like them) could be answered by projecting from the
+// parent's result. The data store's cost policy uses it for proactive
+// materialization: when a region keeps attracting lookups the cache cannot
+// fully answer, it asks for the parent predicate and hints the server to
+// compute it ahead of demand.
+type Aggregator interface {
+	// ParentMeta derives a parent predicate from recent probe predicates
+	// sampled in the hot region and the union of their regions. ok is false
+	// when no useful parent exists (e.g. the samples are incompatible).
+	ParentMeta(samples []Meta, hot geom.Rect) (parent Meta, ok bool)
+}
+
 // ParallelComputer is optionally implemented by an App whose ComputeRaw can
 // fan one query's chunk list across a bounded worker group on the real
 // runtime (intra-query parallelism). n bounds the workers per ComputeRaw

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mqsched/internal/datastore"
 	"mqsched/internal/geom"
@@ -58,6 +59,12 @@ type Options struct {
 	// disjoint data-store candidates. The simulated runtime always executes
 	// serially regardless.
 	ComputeParallelism int
+	// MaterializeLimit caps concurrent proactive-materialization queries
+	// (parent aggregates the data store's cost policy hints; hints beyond
+	// the cap are dropped and re-trigger later). 0 selects the default of 2;
+	// negative disables hint consumption. Irrelevant under the default LRU
+	// policy, which emits no hints.
+	MaterializeLimit int
 	// Tracer, when non-nil, records query lifecycle events.
 	Tracer *trace.Recorder
 	// Spans, when non-nil, records the per-query span tree (server exec
@@ -77,6 +84,7 @@ type srvMetrics struct {
 	fullHits, projections, blocks  *metrics.Counter
 	rawBytes                       *metrics.Counter
 	reusedBytes, computedBytes     *metrics.Counter
+	materializations               *metrics.Counter
 	response, wait                 *metrics.Histogram
 	computeWorkers                 *metrics.Gauge
 }
@@ -105,6 +113,8 @@ func newSrvMetrics(reg *metrics.Registry, strategy string) srvMetrics {
 			"Output bytes produced by projecting cached results.", l),
 		computedBytes: reg.Counter("mqsched_server_computed_output_bytes_total",
 			"Output bytes produced from raw data.", l),
+		materializations: reg.Counter("mqsched_server_materializations_total",
+			"Proactive-materialization queries submitted on data store hints.", l),
 		response: reg.Histogram("mqsched_server_response_seconds",
 			"End-to-end query latency (waiting plus execution).",
 			metrics.DefaultLatencyBuckets, l),
@@ -148,6 +158,9 @@ type Stats struct {
 	ReusedOutputBytes int64
 	// ComputedOutputBytes counts output bytes produced from raw data.
 	ComputedOutputBytes int64
+	// Materializations counts proactive-materialization queries submitted on
+	// data store hints (cost policy only).
+	Materializations int64
 }
 
 // srvStats are the live counters behind Stats. They are plain atomics
@@ -160,6 +173,7 @@ type srvStats struct {
 	blocks, canceled           atomic.Int64
 	rawBytes                   atomic.Int64
 	reusedBytes, computedBytes atomic.Int64
+	materializations           atomic.Int64
 }
 
 // snapshot assembles the exported Stats view.
@@ -174,6 +188,7 @@ func (s *srvStats) snapshot() Stats {
 		RawBytes:            s.rawBytes.Load(),
 		ReusedOutputBytes:   s.reusedBytes.Load(),
 		ComputedOutputBytes: s.computedBytes.Load(),
+		Materializations:    s.materializations.Load(),
 	}
 }
 
@@ -197,6 +212,10 @@ type Server struct {
 
 	emu       sync.Mutex
 	entryNode map[*datastore.Entry]*sched.Node
+
+	// matInFlight counts outstanding proactive-materialization queries
+	// (bounded by Options.MaterializeLimit).
+	matInFlight atomic.Int64
 }
 
 // task links a scheduling-graph node to its in-progress result; it rides in
@@ -205,6 +224,12 @@ type task struct {
 	res *query.Result
 	// span is the query's root span (inert when span tracing is off).
 	span trace.SpanContext
+	// materialized marks a proactive-materialization query submitted on a
+	// data store hint rather than by a client.
+	materialized bool
+	// blockTime accumulates stalls on EXECUTING producers; the recompute
+	// cost reported to the data store excludes it.
+	blockTime time.Duration
 }
 
 // Ticket is the client handle for a submitted query.
@@ -261,7 +286,9 @@ var ErrClosed = errors.New("server: closed")
 
 // Submit enqueues a query and returns its ticket. It may be called from any
 // process (or from plain goroutines on the real runtime).
-func (s *Server) Submit(m query.Meta) (*Ticket, error) {
+func (s *Server) Submit(m query.Meta) (*Ticket, error) { return s.submit(m, false) }
+
+func (s *Server) submit(m query.Meta, materialized bool) (*Ticket, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -276,9 +303,12 @@ func (s *Server) Submit(m query.Meta) (*Ticket, error) {
 	// the instant it enters the waiting heap.
 	n := s.graph.Prepare(m)
 	res := &query.Result{Meta: m, Arrival: s.rtm.Now()}
-	t := &task{res: res}
+	t := &task{res: res, materialized: materialized}
 	t.span = s.opts.Spans.StartRoot(n.ID, trace.SubServer, trace.OpQuery,
 		trace.Str(trace.AttrStrategy, s.graph.Policy().Name()), trace.Str(trace.AttrQuery, m.String()))
+	if materialized {
+		t.span.Annotate(trace.Bool(trace.AttrMaterialized, true))
+	}
 	// The sched wait span is finished by the graph when the query is
 	// dequeued (or by Cancel); it measures time spent in the priority queue.
 	n.WaitSpan = t.span.Child(trace.SubSched, trace.OpWait)
@@ -369,7 +399,7 @@ func (s *Server) execute(ctx rt.Ctx, n *sched.Node, thread int) {
 			break
 		}
 		// Step 2: optionally stall on an overlapping EXECUTING producer.
-		if s.blockOnProducer(ctx, n, t.span, remaining, waited, res) {
+		if s.blockOnProducer(ctx, n, t, remaining, waited) {
 			continue // producer finished; retry the lookup
 		}
 		// Step 3: compute the rest from raw data (the sub-queries). Raw
@@ -399,6 +429,41 @@ func (s *Server) execute(ctx rt.Ctx, n *sched.Node, thread int) {
 
 	// Step 4: store the result for reuse and settle the node state.
 	s.finish(n, t, out, res, reusedArea, gridArea)
+
+	// Consume proactive-materialization hints the data store may have
+	// emitted (cost policy): submit each parent aggregate as an ordinary
+	// query, bounded by MaterializeLimit. Materialization queries themselves
+	// do not chain further materializations.
+	if t.materialized {
+		s.matInFlight.Add(-1)
+	} else {
+		s.materializeHints()
+	}
+}
+
+// materializeHints drains the data store's pending parent-aggregate hints
+// and submits them, dropping hints beyond the in-flight cap (the hot region
+// re-triggers after another probe round).
+func (s *Server) materializeHints() {
+	if s.ds == nil || s.opts.MaterializeLimit < 0 {
+		return
+	}
+	limit := int64(s.opts.MaterializeLimit)
+	if limit == 0 {
+		limit = 2
+	}
+	for _, m := range s.ds.TakeHints() {
+		if s.matInFlight.Add(1) > limit {
+			s.matInFlight.Add(-1)
+			continue
+		}
+		if _, err := s.submit(m, true); err != nil {
+			s.matInFlight.Add(-1)
+			continue
+		}
+		s.st.materializations.Add(1)
+		s.mx.materializations.Inc()
+	}
 }
 
 // spanReader threads a query's span context into page space reads so PS and
@@ -454,6 +519,9 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContex
 						projections++
 						s.st.projections.Add(1)
 						s.mx.projections.Inc()
+						// Charge reuse only for candidates actually
+						// projected; skipped candidates are unpinned unused.
+						c.Entry.MarkProjected()
 					}
 				}
 			}
@@ -535,6 +603,9 @@ func (s *Server) projectCandidates(ctx rt.Ctx, n *sched.Node, out *query.Blob, r
 		projections++
 		s.st.projections.Add(1)
 		s.mx.projections.Inc()
+		// Same accounting point as the serial walk: the selection decision
+		// is the projection (Project covers exactly Coverable's rect).
+		c.Entry.MarkProjected()
 		batch = append(batch, job{entry: c.Entry, covered: coverable})
 	}
 	flush()
@@ -543,7 +614,7 @@ func (s *Server) projectCandidates(ctx rt.Ctx, n *sched.Node, out *query.Blob, r
 
 // blockOnProducer stalls on the best eligible EXECUTING producer. It returns
 // true if it waited (the caller should retry the data store lookup).
-func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext, remaining *geom.Region, waited map[*sched.Node]bool, res *query.Result) bool {
+func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, t *task, remaining *geom.Region, waited map[*sched.Node]bool) bool {
 	if !s.opts.BlockOnExecuting || s.ds == nil {
 		return false
 	}
@@ -561,14 +632,17 @@ func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext
 			continue
 		}
 		waited[p] = true
-		res.WaitedOnExecuting++
+		t.res.WaitedOnExecuting++
 		s.st.blocks.Add(1)
 		s.mx.blocks.Inc()
-		s.opts.Tracer.RecordAt(s.rtm.Now(), n.ID, trace.Blocked, fmt.Sprintf("on q%d", p.ID))
-		block := sp.Child(trace.SubServer, trace.OpBlock, trace.I64(trace.AttrProducer, p.ID))
+		blockStart := s.rtm.Now()
+		s.opts.Tracer.RecordAt(blockStart, n.ID, trace.Blocked, fmt.Sprintf("on q%d", p.ID))
+		block := t.span.Child(trace.SubServer, trace.OpBlock, trace.I64(trace.AttrProducer, p.ID))
 		p.Done.Wait(ctx)
 		block.Finish()
-		s.opts.Tracer.RecordAt(s.rtm.Now(), n.ID, trace.Unblocked, "")
+		now := s.rtm.Now()
+		t.blockTime += now - blockStart
+		s.opts.Tracer.RecordAt(now, n.ID, trace.Unblocked, "")
 		return true
 	}
 	return false
@@ -577,9 +651,18 @@ func (s *Server) blockOnProducer(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext
 // finish publishes the result and settles the scheduling-graph node.
 func (s *Server) finish(n *sched.Node, t *task, out *query.Blob, res *query.Result, reusedArea, gridArea int64) {
 	cached := false
+	admitted := false
 	if s.ds != nil {
+		// The value model's recompute-cost estimate: this query's execution
+		// time so far on the runtime's clock, excluding producer stalls
+		// (waiting is not work the cache would save).
+		cost := (s.rtm.Now() - res.ExecStart - t.blockTime).Seconds()
 		store := t.span.Child(trace.SubDatastore, trace.OpStore, trace.I64(trace.AttrBytes, out.Size))
-		if entry := s.ds.Insert(out); entry != nil {
+		if entry := s.ds.InsertWith(out, datastore.InsertInfo{
+			CostSeconds:  cost,
+			Materialized: t.materialized,
+		}); entry != nil {
+			admitted = true
 			s.emu.Lock()
 			s.entryNode[entry] = n
 			s.emu.Unlock()
@@ -594,7 +677,7 @@ func (s *Server) finish(n *sched.Node, t *task, out *query.Blob, res *query.Resu
 				cached = true
 			}
 		}
-		store.Finish(trace.Bool(trace.AttrCached, cached))
+		store.Finish(trace.Bool(trace.AttrCached, cached), trace.Bool(trace.AttrAdmitted, admitted))
 	}
 	if !cached {
 		s.graph.Remove(n)

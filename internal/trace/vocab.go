@@ -134,4 +134,12 @@ const (
 	// AttrReorder is how far the request moved from arrival order
 	// (disk/read, elevator only).
 	AttrReorder = "reorder"
+	// AttrAdmitted reports whether the data store accepted the result —
+	// false covers both size/pin rejection and, under the cost policy,
+	// admission control (datastore/store).
+	AttrAdmitted = "admitted"
+	// AttrMaterialized marks a proactive-materialization query: a parent
+	// aggregate the data store's cost policy asked the server to compute
+	// ahead of demand (server/query).
+	AttrMaterialized = "materialized"
 )

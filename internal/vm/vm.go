@@ -192,6 +192,7 @@ func New(table *dataset.Table) *App {
 
 var _ query.App = (*App)(nil)
 var _ query.ParallelComputer = (*App)(nil)
+var _ query.Aggregator = (*App)(nil)
 
 // Name implements query.App.
 func (a *App) Name() string { return "virtual-microscope" }
@@ -241,6 +242,63 @@ func (a *App) QInSize(m query.Meta) int64 {
 
 // OutputGrid implements query.App.
 func (a *App) OutputGrid(m query.Meta) geom.Rect { return m.(Meta).OutRect() }
+
+// ParentMeta implements query.Aggregator for proactive materialization: the
+// parent of a hot region is the zoom-aligned interior of the region at the
+// gcd of the sampled zoom factors — the finest magnification every sampled
+// query's zoom is a multiple of, so Equation (4) lets each of them (and
+// future queries on the same ladder) project from the parent's result. The
+// processing function is the most frequent among the samples (Equation 4
+// requires an exact op match).
+func (a *App) ParentMeta(samples []query.Meta, hot geom.Rect) (query.Meta, bool) {
+	var ds string
+	var zoom int64
+	opCount := map[Op]int{}
+	for _, s := range samples {
+		m, ok := s.(Meta)
+		if !ok {
+			continue
+		}
+		if ds == "" {
+			ds = m.DS
+		} else if m.DS != ds {
+			continue
+		}
+		zoom = gcd64(zoom, m.Zoom)
+		opCount[m.Op]++
+	}
+	if ds == "" || zoom < 1 {
+		return nil, false
+	}
+	op, best := Subsample, 0
+	for o, n := range opCount {
+		if n > best || (n == best && o < op) {
+			op, best = o, n
+		}
+	}
+	bounds := a.Table.Get(ds).Bounds()
+	r := hot.Intersect(bounds)
+	// Inner alignment: shrink to zoom-aligned coordinates so the parent is
+	// valid even when the slide edge itself is not aligned.
+	r = geom.Rect{
+		X0: geom.CeilDiv(r.X0, zoom) * zoom,
+		Y0: geom.CeilDiv(r.Y0, zoom) * zoom,
+		X1: geom.FloorDiv(r.X1, zoom) * zoom,
+		Y1: geom.FloorDiv(r.Y1, zoom) * zoom,
+	}
+	if r.Empty() {
+		return nil, false
+	}
+	return NewMeta(ds, r, zoom, op), true
+}
+
+// gcd64 returns the greatest common divisor, treating 0 as the identity.
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
 
 // QCPUCost estimates the computational demand of a query from the cost
 // model, for resource-aware scheduling (sched.CPUCostEstimator).

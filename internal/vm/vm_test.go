@@ -9,6 +9,7 @@ import (
 
 	"mqsched/internal/dataset"
 	"mqsched/internal/geom"
+	"mqsched/internal/query"
 	"mqsched/internal/rt"
 	"mqsched/internal/sim"
 )
@@ -403,5 +404,54 @@ func TestVMOnSimRuntime(t *testing.T) {
 	}
 	if elapsed <= 0 {
 		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestParentMeta(t *testing.T) {
+	app, _ := newApp(1000, 1000)
+
+	// Mixed zooms 4 and 8 with a subsample majority: the parent sits at the
+	// gcd zoom (4), inner-aligned to the hot region.
+	samples := []query.Meta{
+		NewMeta("s1", geom.R(0, 0, 64, 64), 4, Subsample),
+		NewMeta("s1", geom.R(64, 64, 128, 128), 8, Subsample),
+		NewMeta("s1", geom.R(0, 64, 64, 128), 4, Average),
+	}
+	parent, ok := app.ParentMeta(samples, geom.R(1, 1, 130, 130))
+	if !ok {
+		t.Fatal("ParentMeta failed")
+	}
+	p := parent.(Meta)
+	if p.DS != "s1" || p.Zoom != 4 || p.Op != Subsample {
+		t.Fatalf("parent = %+v, want s1/zoom 4/subsample", p)
+	}
+	// Inner alignment of (1,1)-(130,130) to zoom 4: (4,4)-(128,128).
+	if want := geom.R(4, 4, 128, 128); !p.Rect.Eq(want) {
+		t.Fatalf("parent rect = %v, want %v", p.Rect, want)
+	}
+	// Every sample must be answerable from the parent where it overlaps
+	// (Equation 4: same op, zoom a multiple of the parent's).
+	if ov := app.Overlap(p, samples[0]); ov == 0 {
+		t.Fatalf("sample 0 cannot project from the parent (overlap %v)", ov)
+	}
+
+	// Hot region outside the slide bounds or collapsing under alignment
+	// yields no parent.
+	if _, ok := app.ParentMeta(samples, geom.R(1, 1, 3, 3)); ok {
+		t.Fatal("degenerate hot region should not produce a parent")
+	}
+	// No usable samples.
+	if _, ok := app.ParentMeta(nil, geom.R(0, 0, 128, 128)); ok {
+		t.Fatal("empty samples should not produce a parent")
+	}
+
+	// Mismatched datasets: the first sample's slide wins, others are ignored.
+	mixed := []query.Meta{
+		NewMeta("s1", geom.R(0, 0, 64, 64), 4, Subsample),
+		Meta{DS: "other", Rect: geom.R(0, 0, 32, 32), Zoom: 2, Op: Subsample},
+	}
+	parent, ok = app.ParentMeta(mixed, geom.R(0, 0, 64, 64))
+	if !ok || parent.(Meta).DS != "s1" || parent.(Meta).Zoom != 4 {
+		t.Fatalf("mixed-dataset parent = %v, %v", parent, ok)
 	}
 }

@@ -203,6 +203,15 @@ type Config struct {
 	// DSBudget is the data store memory in bytes (default 64 MB; -1
 	// disables result caching).
 	DSBudget int64
+	// DSPolicy selects the data store's cache policy: "lru" (default, the
+	// paper's cache-everything/evict-by-recency data store) or "cost"
+	// (benefit-aware eviction, admission control with a ghost list, and
+	// proactive materialization of hot parent aggregates).
+	DSPolicy string
+	// DSMaterializeLimit bounds concurrent proactive-materialization queries
+	// under the cost policy (0 = the server's default of 2, negative
+	// disables acting on hints).
+	DSMaterializeLimit int
 	// PSBudget is the page space memory in bytes (default 32 MB).
 	PSBudget int64
 	// TimeScale compresses modelled hardware times on the real runtime
@@ -323,7 +332,15 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 	s.farm.UseMetrics(s.reg)
 	s.ps = pagespace.New(s.rtm, table, s.farm, pagespace.Options{Budget: cfg.PSBudget, Metrics: s.reg})
 	if cfg.DSBudget >= 0 {
-		s.ds = datastore.New(s.app, datastore.Options{Budget: cfg.DSBudget, Metrics: s.reg})
+		dsPolicy, err := datastore.ParsePolicy(cfg.DSPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("mqsched: %w", err)
+		}
+		s.ds = datastore.New(s.app, datastore.Options{
+			Budget:  cfg.DSBudget,
+			Policy:  dsPolicy,
+			Metrics: s.reg,
+		})
 	}
 	if cfg.Trace {
 		s.tracer = trace.NewWithClock(s.rtm.Now)
@@ -341,6 +358,7 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 		Threads:            cfg.Threads,
 		BlockOnExecuting:   !cfg.DisableBlocking,
 		ComputeParallelism: cfg.ComputeParallelism,
+		MaterializeLimit:   cfg.DSMaterializeLimit,
 		Tracer:             s.tracer,
 		Spans:              s.spans,
 		Metrics:            s.reg,

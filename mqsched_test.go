@@ -187,3 +187,18 @@ func TestBuildInfoGauge(t *testing.T) {
 		}
 	}
 }
+
+func TestUnknownDSPolicyRejected(t *testing.T) {
+	table := NewSlideTable(Slide{Name: "s1", Width: 512, Height: 512})
+	if _, err := New(Config{Policy: "cnbf", DSPolicy: "mru"}, table); err == nil {
+		t.Fatal("expected error for unknown cache policy")
+	}
+	// With the data store disabled the policy string is irrelevant.
+	if _, err := New(Config{Policy: "cnbf", DSPolicy: "mru", DSBudget: -1}, table); err != nil {
+		t.Fatalf("DSPolicy should be ignored without a data store: %v", err)
+	}
+	// The cost policy assembles.
+	if _, err := New(Config{Mode: Simulated, Policy: "cnbf", DSPolicy: "cost"}, table); err != nil {
+		t.Fatal(err)
+	}
+}
