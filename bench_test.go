@@ -43,6 +43,7 @@ var (
 	largeQueryOut = flag.String("largequeryout", "", "write BenchmarkLargeQueryParallel results as JSON to this path")
 	diskOut       = flag.String("diskout", "", "write BenchmarkDiskSweep results as JSON to this path")
 	cacheOut      = flag.String("cacheout", "", "write BenchmarkCacheSweep results as JSON to this path")
+	batchOut      = flag.String("batchout", "", "write BenchmarkBatchSweep results as JSON to this path")
 )
 
 // benchBase returns the benchmark workload scale.
@@ -696,6 +697,186 @@ func BenchmarkCacheSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile(*cacheOut, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// batchSweepHighStream is the high-overlap arm of the batch crossover:
+// Zipf-sized bursts of near-duplicate averaging queries, each burst walking
+// the zoom ladder coarse-to-fine (8, 4, 2) over jittered copies of one
+// window, with every burst landing on its own fresh region of the slide.
+// This is the shape per-query reuse amortizes worst: cached results only
+// project to coarser zooms, so the coarse-first ladder forces a full
+// from-raw compute per zoom, and under page-space pressure each of those
+// passes regenerates the window's pages. The batch executor instead claims
+// the whole burst at once, computes one parent at the gcd zoom touching
+// each page exactly once, and fans every member out by projection. (Slow
+// pan walks favour per-query reuse — the cache amortizes those
+// incrementally — which is exactly the crossover this sweep plots.)
+func batchSweepHighStream(side int64) []vm.Meta {
+	sizes := []int{14, 11, 9, 8, 7, 6, 5, 4} // Zipf-ish burst fan-in, Σ = 64
+	var qs []vm.Meta
+	for b, sz := range sizes {
+		baseX := (int64(b) % 4) * 2048
+		baseY := (int64(b) / 4) * 4096
+		for j := 0; j < sz; j++ {
+			dx, dy := int64(j%3)*64, int64(j/3)*64
+			zoom := []int64{8, 4, 2}[j%3]
+			qs = append(qs, vm.NewMeta("s1",
+				geom.R(baseX+dx, baseY+dy, baseX+dx+1536, baseY+dy+1536), zoom, vm.Average))
+		}
+	}
+	return qs
+}
+
+// batchSweepLowStream is the low-overlap guard arm: pairwise-disjoint tiles,
+// so every hotness is zero and the batch ranking must degrade to arrival
+// order with no grouping overhead worth speaking of.
+func batchSweepLowStream(side int64, n int) []vm.Meta {
+	qs := make([]vm.Meta, 0, n)
+	per := side / 512
+	for i := 0; i < n; i++ {
+		x, y := (int64(i)%per)*512, (int64(i)/per)*512
+		qs = append(qs, vm.NewMeta("s1", geom.R(x, y, x+512, y+512), 2, vm.Average))
+	}
+	return qs
+}
+
+// batchSweepRun drains one query stream through the full stack on the real
+// (wall clock) runtime under one ranking strategy and returns aggregate
+// queries per second, the p95 response time in modelled seconds, and the
+// number of multi-query batch groups formed.
+func batchSweepRun(b *testing.B, pol string, qs []vm.Meta, side int64) (qps, p95 float64, groups int64) {
+	b.Helper()
+	rtm := rt.NewReal(rt.RealOptions{TimeScale: 0.0002})
+	table := dataset.NewTable(vm.NewSlide("s1", side, side))
+	app := vm.New(table)
+	farm := disk.NewFarm(rtm, disk.Config{Disks: 4, ThrashPerStream: -1}, vm.GeneratePage)
+	// The page space is deliberately smaller than one burst's raw footprint
+	// (~10 MB): redundant passes over the same window pay regeneration, which
+	// is the memory-pressure regime the batch executor exists for.
+	ps := pagespace.New(rtm, table, farm, pagespace.Options{Budget: 8 << 20})
+	ds := datastore.New(app, datastore.Options{Budget: 64 << 20})
+	policy, ok := sched.ByName(pol, app)
+	if !ok {
+		b.Fatalf("unknown policy %q", pol)
+	}
+	graph := sched.New(rtm, app, policy)
+	srv := server.New(rtm, app, graph, ds, ps, server.Options{Threads: 1})
+
+	resp := make([]float64, len(qs))
+	done := make(chan error, 1)
+	start := time.Now()
+	rtm.Spawn("sweep-client", func(ctx rt.Ctx) {
+		tickets := make([]*server.Ticket, len(qs))
+		for i, q := range qs {
+			tk, err := srv.Submit(q)
+			if err != nil {
+				done <- err
+				return
+			}
+			tickets[i] = tk
+		}
+		for i, tk := range tickets {
+			res := tk.Wait(ctx)
+			if res.Blob == nil {
+				done <- fmt.Errorf("query %d: nil blob", i)
+				return
+			}
+			resp[i] = res.ResponseTime().Seconds()
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	srv.Close()
+	rtm.Wait()
+
+	sort.Float64s(resp)
+	return float64(len(qs)) / elapsed.Seconds(),
+		resp[int(0.95*float64(len(qs)-1))],
+		srv.Stats().BatchGroups
+}
+
+// BenchmarkBatchSweep measures the crossover of the data-driven batch
+// executor against the best per-query strategy (CNBF) on the real runtime:
+// aggregate drain throughput on a high-overlap near-duplicate burst stream
+// (where executing hot data once and fanning results out should win) and
+// p95 response time on a pairwise-disjoint stream (where batch ranking
+// degrades to arrival order and must not regress). With -batchout=PATH the
+// per-arm metrics plus the two crossover ratios are written as JSON (see
+// BENCH_batch.json for the committed baseline; cmd/benchdiff gates both
+// ratios in CI).
+func BenchmarkBatchSweep(b *testing.B) {
+	const side = int64(8192)
+	const n = 64
+	type key struct{ shape, pol string }
+	type arm struct {
+		qps, p95 float64
+		groups   int64
+	}
+	streams := map[string][]vm.Meta{
+		"high_overlap": batchSweepHighStream(side),
+		"low_overlap":  batchSweepLowStream(side, n),
+	}
+	best := map[key]arm{}
+	for _, shape := range []string{"high_overlap", "low_overlap"} {
+		for _, pol := range []string{"cnbf", "batch"} {
+			k := key{shape, pol}
+			b.Run(fmt.Sprintf("%s/%s", shape, pol), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					qps, p95, groups := batchSweepRun(b, pol, streams[shape], side)
+					if cur, ok := best[k]; !ok || qps > cur.qps {
+						best[k] = arm{qps: qps, p95: p95, groups: groups}
+					}
+					b.ReportMetric(qps, "qps")
+					b.ReportMetric(p95, "p95_s")
+				}
+			})
+		}
+	}
+	if got := best[key{"high_overlap", "batch"}].groups; got == 0 {
+		b.Fatal("high-overlap batch arm formed no multi-query groups")
+	}
+	if *batchOut == "" {
+		return
+	}
+	type point struct {
+		Shape  string  `json:"shape"`
+		Policy string  `json:"policy"`
+		QPS    float64 `json:"qps"`
+		P95Sec float64 `json:"p95_s"`
+		Groups int64   `json:"batch_groups"`
+	}
+	var pts []point
+	for _, shape := range []string{"high_overlap", "low_overlap"} {
+		for _, pol := range []string{"cnbf", "batch"} {
+			a := best[key{shape, pol}]
+			pts = append(pts, point{Shape: shape, Policy: pol, QPS: a.qps, P95Sec: a.p95, Groups: a.groups})
+		}
+	}
+	qpsGain, p95Guard := 0.0, 0.0
+	if c := best[key{"high_overlap", "cnbf"}].qps; c > 0 {
+		qpsGain = best[key{"high_overlap", "batch"}].qps / c
+	}
+	if bp := best[key{"low_overlap", "batch"}].p95; bp > 0 {
+		p95Guard = best[key{"low_overlap", "cnbf"}].p95 / bp
+	}
+	out := struct {
+		Benchmark string  `json:"benchmark"`
+		Queries   int     `json:"queries"`
+		Points    []point `json:"points"`
+		QPSGain   float64 `json:"high_overlap_qps_gain"`
+		P95Guard  float64 `json:"low_overlap_p95_guard"`
+	}{Benchmark: "BenchmarkBatchSweep", Queries: n, Points: pts,
+		QPSGain: qpsGain, P95Guard: p95Guard}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*batchOut, append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -3,18 +3,21 @@
 // when any throughput metric regresses beyond the tolerance, turning the
 // previously upload-only artifacts into a pass/fail check.
 //
-// It understands the five result formats the repository commits:
+// It understands the six result formats the repository commits:
 // BENCH_scaling.json (BenchmarkScaling: qps per thread count),
 // BENCH_disk.json (BenchmarkDiskSweep: pages/sec per discipline plus the
 // elevator speedup), BENCH_load.json (mqload: achieved qps per strategy and
 // offered rate), BENCH_cache.json (BenchmarkCacheSweep: reused-bytes
 // fraction and achieved qps per cache policy and rate, plus the cost-over-lru
 // reuse-gain and p95-speedup ratios — all deterministic virtual-time
-// numbers), and BENCH_kernels.json (the {vm, vol, large_query} kernel
-// composite; only the opt-vs-ref speedup ratios are gated — absolute MB/s
-// varies too much across runner hardware). Only higher-is-better metrics are
-// gated — absolute latencies vary too much across runner hardware to
-// compare, so lower-is-better latencies gate via ratios.
+// numbers), BENCH_batch.json (BenchmarkBatchSweep: the batch-vs-cnbf
+// crossover; only the batch/cnbf qps-gain and p95-guard ratios are gated —
+// they are same-machine ratios, while absolute qps is wall-clock), and
+// BENCH_kernels.json (the {vm, vol, large_query} kernel composite; only the
+// opt-vs-ref speedup ratios are gated — absolute MB/s varies too much
+// across runner hardware). Only higher-is-better metrics are gated —
+// absolute latencies vary too much across runner hardware to compare, so
+// lower-is-better latencies gate via ratios.
 //
 // Usage:
 //
@@ -149,6 +152,23 @@ func metricsOf(data []byte) (kind string, metrics map[string]float64, err error)
 		}
 		if f.P95Speedup != 0 {
 			metrics["cost p95 speedup"] = f.P95Speedup
+		}
+	case "BenchmarkBatchSweep":
+		var f struct {
+			QPSGain  float64 `json:"high_overlap_qps_gain"`
+			P95Guard float64 `json:"low_overlap_p95_guard"`
+		}
+		if err := json.Unmarshal(data, &f); err != nil {
+			return "", nil, err
+		}
+		// Absolute per-arm qps is wall-clock and swings with runner load;
+		// the two crossover ratios are batch-vs-cnbf on the same machine in
+		// the same run, so they gate.
+		if f.QPSGain != 0 {
+			metrics["high overlap qps gain"] = f.QPSGain
+		}
+		if f.P95Guard != 0 {
+			metrics["low overlap p95 guard"] = f.P95Guard
 		}
 	case "mqload":
 		var f struct {

@@ -141,6 +141,60 @@ func TestMetricsOfCommittedCacheBaseline(t *testing.T) {
 	}
 }
 
+const batchJSON = `{
+  "benchmark": "BenchmarkBatchSweep",
+  "queries": 64,
+  "points": [
+    {"shape": "high_overlap", "policy": "cnbf", "qps": 23.2, "p95_s": 2.37, "batch_groups": 0},
+    {"shape": "high_overlap", "policy": "batch", "qps": 53.3, "p95_s": 1.10, "batch_groups": 8}
+  ],
+  "high_overlap_qps_gain": 2.29,
+  "low_overlap_p95_guard": 1.03
+}`
+
+func TestMetricsOfBatchSweep(t *testing.T) {
+	kind, m, err := metricsOf([]byte(batchJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "BenchmarkBatchSweep" {
+		t.Fatalf("kind %q", kind)
+	}
+	want := map[string]float64{
+		"high overlap qps gain": 2.29,
+		"low overlap p95 guard": 1.03,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v (all: %v)", k, m[k], v, m)
+		}
+	}
+	// Absolute qps is wall-clock and must not gate: only the two ratios.
+	if len(m) != len(want) {
+		t.Fatalf("want %d metrics, got %v", len(want), m)
+	}
+}
+
+// TestMetricsOfCommittedBatchBaseline: the committed BENCH_batch.json parses
+// and records the batch executor clearing its acceptance bars — at least a
+// 1.5x aggregate-qps gain on the high-overlap bursts and a low-overlap p95
+// no worse than 1.2x CNBF's.
+func TestMetricsOfCommittedBatchBaseline(t *testing.T) {
+	kind, m, err := metricsOfFile("../../BENCH_batch.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "BenchmarkBatchSweep" {
+		t.Fatalf("kind %q", kind)
+	}
+	if m["high overlap qps gain"] < 1.5 {
+		t.Fatalf("baseline qps gain %v, want >= 1.5", m["high overlap qps gain"])
+	}
+	if m["low overlap p95 guard"] < 1/1.2 {
+		t.Fatalf("baseline p95 guard %v, want >= %v", m["low overlap p95 guard"], 1/1.2)
+	}
+}
+
 const kernelsJSON = `{
   "vm": {
     "benchmark": "BenchmarkKernels",

@@ -24,6 +24,7 @@ import (
 	"mqsched/internal/driver"
 	"mqsched/internal/experiment"
 	"mqsched/internal/metrics"
+	"mqsched/internal/sched"
 	"mqsched/internal/trace"
 	"mqsched/internal/vm"
 )
@@ -47,7 +48,9 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to write CSV copies of each table")
 		dumpWl   = flag.String("dumpworkload", "", "write the generated workload (both ops) as JSON to this path and exit")
 		loadWl   = flag.String("workload", "", "replay a saved workload (JSON) through a single run instead of an experiment sweep")
-		policy   = flag.String("policy", "cnbf", "ranking strategy for -workload and -trace-out single runs")
+		policy   = flag.String("policy", "cnbf", "ranking strategy for -workload and -trace-out single runs: "+strings.Join(sched.Names(), ", "))
+		batchS   = flag.Float64("batch-starvation", 0, "batch policy aging blend toward arrival order (0 = default, negative disables aging)")
+		batchG   = flag.Int("batch-group", 0, "max queries claimed per batch dispatch (0 = default)")
 		computeW = flag.Int("compute-workers", 0, "intra-query compute worker bound, wired through to saved configs (0 = GOMAXPROCS on the real runtime; the simulated runtime is always serial)")
 		traceOut = flag.String("trace-out", "", "run one traced configuration and write its span trees as Chrome trace_event JSON to this path (open in chrome://tracing or Perfetto)")
 	)
@@ -73,7 +76,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sched, err := disk.ParseSched(*ioSched)
+	ioSchedKind, err := disk.ParseSched(*ioSched)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,7 +86,7 @@ func main() {
 		Threads:            *threads,
 		CPUs:               *cpus,
 		Disks:              *disks,
-		IOSched:            sched,
+		IOSched:            ioSchedKind,
 		IOBatchPages:       *ioBatch,
 		IOMaxDelay:         *ioDelay,
 		Seed:               *seed,
@@ -91,6 +94,8 @@ func main() {
 		PSPrefetchLimit:    *psPre,
 		DSPolicy:           *dsPolicy,
 		ComputeParallelism: *computeW,
+		BatchStarvation:    *batchS,
+		BatchMaxGroup:      *batchG,
 	}
 
 	if *dumpWl != "" {

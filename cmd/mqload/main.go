@@ -33,13 +33,14 @@ import (
 
 	"mqsched"
 	"mqsched/internal/load"
+	"mqsched/internal/sched"
 	"mqsched/internal/vm"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "localhost:9123", "mqserver address")
-		strategy = flag.String("strategy", "", "label for this server's ranking strategy (required with -out)")
+		strategy = flag.String("strategy", "", "label for this server's ranking strategy, normally one of "+strings.Join(sched.Names(), ", ")+" (required with -out)")
 		slides   = flag.String("slides", "slide1:16384x16384,slide2:16384x16384,slide3:16384x16384", "comma-separated name:WxH slide list (must match the server)")
 		users    = flag.Int("users", 1000, "simulated user sessions")
 		rates    = flag.String("rates", "25,50,100", "comma-separated offered-load sweep, queries/sec")

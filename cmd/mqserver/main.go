@@ -33,6 +33,7 @@ import (
 	"mqsched/internal/disk"
 	"mqsched/internal/metrics"
 	"mqsched/internal/netproto"
+	"mqsched/internal/sched"
 	"mqsched/internal/trace"
 )
 
@@ -40,7 +41,9 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":9123", "listen address")
 		slides     = flag.String("slides", "slide1:16384x16384,slide2:16384x16384,slide3:16384x16384", "comma-separated name:WxH slide list")
-		policy     = flag.String("policy", "cf", "ranking strategy: fifo, muf, ff, cf, cnbf, sjf")
+		policy     = flag.String("policy", "cf", "ranking strategy: "+strings.Join(sched.Names(), ", "))
+		batchStarv = flag.Float64("batch-starvation", 0, "batch policy aging blend toward arrival order (0 = default, negative disables aging)")
+		batchGroup = flag.Int("batch-group", 0, "max queries claimed per batch dispatch (0 = default)")
 		threads    = flag.Int("threads", 4, "query threads")
 		dsMB       = flag.Int64("ds", 64, "data store MB (-1 disables caching)")
 		dsPolicy   = flag.String("ds-policy", "lru", "data store cache policy: lru (the paper's cache-everything store) or cost (benefit-aware eviction + admission control + proactive materialization)")
@@ -66,15 +69,17 @@ func main() {
 	if *dsMB < 0 {
 		dsBudget = -1
 	}
-	sched, err := disk.ParseSched(*ioSched)
+	ioSchedKind, err := disk.ParseSched(*ioSched)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sys, err := mqsched.New(mqsched.Config{
 		Mode:                mqsched.Real,
 		Policy:              *policy,
+		BatchStarvation:     *batchStarv,
+		BatchMaxGroup:       *batchGroup,
 		Threads:             *threads,
-		IOSched:             sched,
+		IOSched:             ioSchedKind,
 		IOBatchPages:        *ioBatch,
 		IOMaxDelay:          *ioDelay,
 		DSBudget:            dsBudget,

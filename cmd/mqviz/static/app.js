@@ -13,7 +13,7 @@ async function getJSON(url) {
 }
 
 function fmtSec(s) {
-  if (s === 0) return "0";
+  if (s === 0 || s === undefined) return "0";
   if (Math.abs(s) < 0.001) return (s * 1e6).toFixed(0) + "µs";
   if (Math.abs(s) < 1) return (s * 1e3).toFixed(1) + "ms";
   return s.toFixed(2) + "s";
@@ -104,7 +104,7 @@ function drawTimelines(tl) {
 }
 
 function renderBreakdown(bd) {
-  const phases = ["wait", "io", "compute", "reuse", "other"];
+  const phases = ["wait", "io", "compute", "reuse", "batch", "fanout", "other"];
   let html = `<table><tr><th>strategy</th><th>queries</th>` +
     phases.map((p) => `<th>${p}</th>`).join("") +
     `<th>mean</th><th>p50</th><th>p95</th><th>reused</th></tr>`;

@@ -86,6 +86,13 @@ type Config struct {
 	// CombinedBeta is the SJF weight when Policy == "combined" (default
 	// 0.5).
 	CombinedBeta float64
+	// BatchStarvation tunes the batch policy's aging blend toward arrival
+	// order when Policy == "batch": 0 keeps sched.DefaultBatchStarvation,
+	// negative disables aging (pure data-hotness order).
+	BatchStarvation float64
+	// BatchMaxGroup caps queries claimed per batch dispatch when Policy ==
+	// "batch" (0 = server.DefaultBatchMaxGroup).
+	BatchMaxGroup int
 	// MonitorInterval, when positive, samples disk/CPU utilization and
 	// queue length on the virtual clock every interval; the rendered
 	// sparklines land in Metrics.MonitorReport.
@@ -265,6 +272,15 @@ func assemble(cfg Config) (*system, error) {
 	switch {
 	case ok && cfg.Policy == "cf":
 		policy = sched.CF{Alpha: cfg.CFAlpha}
+	case ok && cfg.Policy == "batch":
+		bp := policy.(sched.Batch)
+		switch {
+		case cfg.BatchStarvation > 0:
+			bp.Starvation = cfg.BatchStarvation
+		case cfg.BatchStarvation < 0:
+			bp.Starvation = 0
+		}
+		policy = bp
 	case !ok && cfg.Policy == "combined":
 		policy = sched.Combined{App: app, Beta: cfg.CombinedBeta}
 	case !ok && cfg.Policy == "autotune":
@@ -291,6 +307,7 @@ func assemble(cfg Config) (*system, error) {
 		BlockOnExecuting:   cfg.BlockOnExecuting,
 		ComputeParallelism: cfg.ComputeParallelism,
 		MaterializeLimit:   cfg.DSMaterializeLimit,
+		BatchMaxGroup:      cfg.BatchMaxGroup,
 		Spans:              spans,
 		Metrics:            cfg.Metrics,
 	})

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"testing"
+
+	"mqsched/internal/geom"
+)
+
+// Two fully-overlapping queries plus a half-overlapping one form the hot
+// set; a disjoint query ranks below them until aging promotes it.
+func TestBatchRankHotness(t *testing.T) {
+	g, _ := rig(Batch{Starvation: 0.05})
+	g.Insert(meta(geom.R(500, 500, 600, 600))) // disjoint, arrives first
+	s := g.Insert(meta(geom.R(0, 0, 100, 100)))
+	g.Insert(meta(geom.R(0, 0, 100, 100)))  // identical to s
+	g.Insert(meta(geom.R(50, 0, 150, 100))) // half-overlaps both
+
+	// hot(s) = 1 + 1 (identical twin, both directions) + 0.5 + 0.5 = 3, far
+	// above the disjoint query's 0; aging at 0.05 per arrival does not close
+	// a 3-hotness gap within three arrivals.
+	if got := g.Dequeue(); got != s {
+		t.Fatalf("dequeue = node %d, want the hot seed %d", got.ID, s.ID)
+	}
+}
+
+// With no overlapping load every hotness is zero and the batch ranking
+// degenerates to exactly FIFO.
+func TestBatchRankFIFOWhenDisjoint(t *testing.T) {
+	g, _ := rig(Batch{Starvation: DefaultBatchStarvation})
+	a := g.Insert(meta(geom.R(0, 0, 10, 10)))
+	b := g.Insert(meta(geom.R(200, 200, 210, 210)))
+	c := g.Insert(meta(geom.R(400, 400, 410, 410)))
+	for i, want := range []*Node{a, b, c} {
+		if got := g.Dequeue(); got != want {
+			t.Fatalf("dequeue %d: got node %d, want %d (arrival order)", i, got.ID, want.ID)
+		}
+	}
+}
+
+// A large enough starvation weight promotes an old disjoint query over a
+// hotter, younger one: the aging blend bounds how long overlap mass can
+// keep winning.
+func TestBatchRankStarvationPromotes(t *testing.T) {
+	g, _ := rig(Batch{Starvation: 2})
+	d := g.Insert(meta(geom.R(500, 500, 600, 600))) // Seq 1, hotness 0
+	g.Insert(meta(geom.R(0, 0, 100, 100)))          // Seq 2, hotness 2
+	g.Insert(meta(geom.R(0, 0, 100, 100)))          // Seq 3, hotness 2
+	// rank(d) = −2; rank(hot, Seq 2) = 2 − 4 = −2 ties, FIFO tie-break by
+	// Seq picks d; Seq 3 ranks −4.
+	if got := g.Dequeue(); got != d {
+		t.Fatalf("dequeue = node %d, want aged disjoint node %d", got.ID, d.ID)
+	}
+}
+
+func TestDequeueBatchGroupsNeighbours(t *testing.T) {
+	g, _ := rig(Batch{Starvation: 0.01})
+	s := g.Insert(meta(geom.R(0, 0, 100, 100)))
+	n1 := g.Insert(meta(geom.R(0, 0, 100, 100)))  // sym weight 20000 with s
+	n2 := g.Insert(meta(geom.R(50, 0, 150, 100))) // sym weight 10000 with s
+	d := g.Insert(meta(geom.R(500, 500, 600, 600)))
+
+	group := g.DequeueBatch(8)
+	if len(group) != 3 {
+		t.Fatalf("group size = %d, want 3 (seed + 2 neighbours)", len(group))
+	}
+	if group[0] != s || group[1] != n1 || group[2] != n2 {
+		t.Fatalf("group = [%d %d %d], want seed %d then neighbours by weight [%d %d]",
+			group[0].ID, group[1].ID, group[2].ID, s.ID, n1.ID, n2.ID)
+	}
+	for i, n := range group {
+		if n.State() != Executing {
+			t.Fatalf("member %d state = %v, want Executing", i, n.State())
+		}
+		if i > 0 && group[i].ExecSeq != group[i-1].ExecSeq+1 {
+			t.Fatalf("ExecSeqs not consecutive ascending: %d after %d",
+				group[i].ExecSeq, group[i-1].ExecSeq)
+		}
+	}
+	if d.State() != Waiting {
+		t.Fatalf("disjoint node joined the group (state %v)", d.State())
+	}
+	if got := g.DequeueBatch(8); len(got) != 1 || got[0] != d {
+		t.Fatalf("second claim = %v, want just the disjoint node", got)
+	}
+	if g.DequeueBatch(8) != nil {
+		t.Fatal("empty queue should claim nil")
+	}
+}
+
+func TestDequeueBatchRespectsCap(t *testing.T) {
+	g, _ := rig(Batch{})
+	s := g.Insert(meta(geom.R(0, 0, 100, 100)))
+	n1 := g.Insert(meta(geom.R(0, 0, 100, 100)))
+	n2 := g.Insert(meta(geom.R(0, 0, 100, 100)))
+
+	group := g.DequeueBatch(2)
+	if len(group) != 2 || group[0] != s || group[1] != n1 {
+		t.Fatalf("capped claim = %d members, want [seed %d, %d]", len(group), s.ID, n1.ID)
+	}
+	if n2.State() != Waiting {
+		t.Fatalf("overflow member claimed (state %v)", n2.State())
+	}
+	if g.WaitingCount() != 1 {
+		t.Fatalf("WaitingCount = %d, want 1", g.WaitingCount())
+	}
+}
+
+func TestDequeueBatchMaxOneIsDequeue(t *testing.T) {
+	g, _ := rig(Batch{})
+	s := g.Insert(meta(geom.R(0, 0, 100, 100)))
+	g.Insert(meta(geom.R(0, 0, 100, 100)))
+	group := g.DequeueBatch(1)
+	if len(group) != 1 || group[0] != s {
+		t.Fatalf("max=1 claim = %d members, want just the seed", len(group))
+	}
+}

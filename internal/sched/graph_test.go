@@ -21,6 +21,9 @@ func rig(p Policy) (*Graph, *testapp.App) {
 	if sjf, ok := p.(SJF); ok && sjf.App == nil {
 		p = SJF{App: app}
 	}
+	if bp, ok := p.(Batch); ok && bp.App == nil {
+		p = Batch{App: app, Starvation: bp.Starvation}
+	}
 	g := New(rt.NewSim(sim.New(), 1), app, p)
 	return g, app
 }

@@ -127,10 +127,11 @@ func (SJF) Name() string { return "SJF" }
 // Rank implements Policy.
 func (s SJF) Rank(n *Node) float64 { return -float64(s.App.QInSize(n.Meta)) }
 
-// policyNames is the canonical strategy set, in the paper's order.
-// TestNamesResolve pins every entry to a ByName case so the advertised set
-// cannot drift from the constructible one.
-var policyNames = []string{"fifo", "muf", "ff", "cf", "cnbf", "sjf"}
+// policyNames is the canonical strategy set: the paper's six in its order,
+// then the data-driven batch extension. TestNamesResolve pins every entry to
+// a ByName case so the advertised set cannot drift from the constructible
+// one.
+var policyNames = []string{"fifo", "muf", "ff", "cf", "cnbf", "sjf", "batch"}
 
 // Names returns the canonical lower-case names of every ranking strategy
 // constructible through ByName, in a fixed order. The set is advertised by
@@ -139,9 +140,9 @@ func Names() []string {
 	return append([]string(nil), policyNames...)
 }
 
-// ByName returns the policy with the given name ("fifo", "muf", "ff", "cf",
-// "cnbf", "sjf"); CF uses α = 0.2 as in the paper. It reports false for
-// unknown names.
+// ByName returns the policy with one of the names in Names(); CF uses
+// α = 0.2 as in the paper and batch uses Starvation =
+// DefaultBatchStarvation. It reports false for unknown names.
 func ByName(name string, app query.App) (Policy, bool) {
 	switch name {
 	case "fifo", "FIFO":
@@ -156,6 +157,8 @@ func ByName(name string, app query.App) (Policy, bool) {
 		return CNBF{}, true
 	case "sjf", "SJF":
 		return SJF{App: app}, true
+	case "batch", "BATCH":
+		return Batch{App: app, Starvation: DefaultBatchStarvation}, true
 	}
 	return nil, false
 }

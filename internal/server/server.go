@@ -65,6 +65,10 @@ type Options struct {
 	// negative disables hint consumption. Irrelevant under the default LRU
 	// policy, which emits no hints.
 	MaterializeLimit int
+	// BatchMaxGroup caps the queries one batch-executor dispatch claims
+	// together (the sched.Batch strategy only; other strategies always
+	// dispatch query-at-a-time). 0 selects DefaultBatchMaxGroup.
+	BatchMaxGroup int
 	// Tracer, when non-nil, records query lifecycle events.
 	Tracer *trace.Recorder
 	// Spans, when non-nil, records the per-query span tree (server exec
@@ -87,14 +91,20 @@ type srvMetrics struct {
 	materializations               *metrics.Counter
 	response, wait                 *metrics.Histogram
 	computeWorkers                 *metrics.Gauge
+
+	// Batch-executor instrumentation, registered only when the batch
+	// strategy is active (zero-value handles are nil-safe no-ops).
+	batchGroupSize *metrics.Histogram
+	batchFanout    *metrics.Counter
+	batchQueueAge  *metrics.Histogram
 }
 
-func newSrvMetrics(reg *metrics.Registry, strategy string) srvMetrics {
+func newSrvMetrics(reg *metrics.Registry, strategy string, batch bool) srvMetrics {
 	if reg == nil {
 		return srvMetrics{}
 	}
 	l := metrics.L("strategy", strategy)
-	return srvMetrics{
+	m := srvMetrics{
 		submitted: reg.Counter("mqsched_server_submitted_total",
 			"Queries accepted into the scheduling graph.", l),
 		completed: reg.Counter("mqsched_server_completed_total",
@@ -124,6 +134,17 @@ func newSrvMetrics(reg *metrics.Registry, strategy string) srvMetrics {
 		computeWorkers: reg.Gauge("mqsched_server_compute_workers",
 			"Resolved per-query compute worker bound (intra-query parallelism).", l),
 	}
+	if batch {
+		m.batchGroupSize = reg.Histogram("mqsched_batch_group_size",
+			"Queries claimed together per batch-executor dispatch.",
+			[]float64{1, 2, 4, 8, 16, 32}, l)
+		m.batchFanout = reg.Counter("mqsched_batch_fanout_total",
+			"Group members covered by projecting the batch seed aggregate.", l)
+		m.batchQueueAge = reg.Histogram("mqsched_batch_queue_age_seconds",
+			"Queue age (arrival to claim) of queries at batch dispatch.",
+			metrics.DefaultLatencyBuckets, l)
+	}
+	return m
 }
 
 func (o Options) withDefaults() Options {
@@ -161,6 +182,12 @@ type Stats struct {
 	// Materializations counts proactive-materialization queries submitted on
 	// data store hints (cost policy only).
 	Materializations int64
+	// BatchGroups counts multi-query groups claimed by the batch executor;
+	// BatchFanouts counts group members whose outputs were (partially)
+	// covered by projecting the group's seed aggregate. Zero under every
+	// non-batch strategy.
+	BatchGroups  int64
+	BatchFanouts int64
 }
 
 // srvStats are the live counters behind Stats. They are plain atomics
@@ -174,6 +201,7 @@ type srvStats struct {
 	rawBytes                   atomic.Int64
 	reusedBytes, computedBytes atomic.Int64
 	materializations           atomic.Int64
+	batchGroups, batchFanouts  atomic.Int64
 }
 
 // snapshot assembles the exported Stats view.
@@ -189,6 +217,8 @@ func (s *srvStats) snapshot() Stats {
 		ReusedOutputBytes:   s.reusedBytes.Load(),
 		ComputedOutputBytes: s.computedBytes.Load(),
 		Materializations:    s.materializations.Load(),
+		BatchGroups:         s.batchGroups.Load(),
+		BatchFanouts:        s.batchFanouts.Load(),
 	}
 }
 
@@ -200,6 +230,10 @@ type Server struct {
 	ds    *datastore.Manager // nil = caching disabled
 	ps    *pagespace.Manager
 	opts  Options
+
+	// exec is the dispatch strategy the worker pool runs: query-at-a-time
+	// for the paper's strategies, data-affine groups for sched.Batch.
+	exec Executor
 
 	mx srvMetrics
 	st srvStats
@@ -261,7 +295,18 @@ func New(rtm rt.Runtime, app query.App, graph *sched.Graph, ds *datastore.Manage
 		opts:      opts.withDefaults(),
 		entryNode: map[*datastore.Entry]*sched.Node{},
 	}
-	s.mx = newSrvMetrics(s.opts.Metrics, graph.Policy().Name())
+	_, batching := graph.Policy().(sched.Batch)
+	s.mx = newSrvMetrics(s.opts.Metrics, graph.Policy().Name(), batching)
+	if batching {
+		agg, _ := app.(query.Aggregator)
+		maxGroup := s.opts.BatchMaxGroup
+		if maxGroup <= 0 {
+			maxGroup = DefaultBatchMaxGroup
+		}
+		s.exec = &batchExecutor{s: s, agg: agg, maxGroup: maxGroup}
+	} else {
+		s.exec = queryExecutor{s}
+	}
 	// Hand the intra-query parallelism bound to the application before any
 	// query thread starts (the setting must not change once queries execute).
 	if pc, ok := app.(query.ParallelComputer); ok {
@@ -357,14 +402,16 @@ func (s *Server) Close() {
 func (s *Server) Stats() Stats { return s.st.snapshot() }
 
 // worker is one query thread; thread is its pool index, attributed to every
-// root span it executes (per-thread utilization in trace analysis).
+// root span it executes (per-thread utilization in trace analysis). The
+// dispatch unit — one query, or one data-affine group — comes from the
+// configured Executor.
 func (s *Server) worker(ctx rt.Ctx, thread int) {
 	for {
 		s.mu.Lock()
-		var n *sched.Node
+		var unit []*sched.Node
 		for {
-			n = s.graph.Dequeue()
-			if n != nil {
+			unit = s.exec.Claim()
+			if unit != nil {
 				break
 			}
 			if s.closed {
@@ -374,12 +421,14 @@ func (s *Server) worker(ctx rt.Ctx, thread int) {
 			s.cond.Wait(ctx)
 		}
 		s.mu.Unlock()
-		s.execute(ctx, n, thread)
+		s.exec.Run(ctx, unit, thread)
 	}
 }
 
-// execute runs one query to completion.
-func (s *Server) execute(ctx rt.Ctx, n *sched.Node, thread int) {
+// execute runs one query to completion. seed, when non-nil, is a freshly
+// computed batch-group parent aggregate fanned out to this query before the
+// data store is consulted (batch executor only; nil everywhere else).
+func (s *Server) execute(ctx rt.Ctx, n *sched.Node, thread int, seed *query.Blob) {
 	t := n.Payload.(*task)
 	res := t.res
 	res.ExecStart = s.rtm.Now()
@@ -392,9 +441,15 @@ func (s *Server) execute(ctx rt.Ctx, n *sched.Node, thread int) {
 	var reusedArea int64
 	waited := map[*sched.Node]bool{}
 
+	// Step 0 (batch mode only): fan the group's parent aggregate out into
+	// this output first — it was computed moments ago for exactly this data.
+	if seed != nil {
+		reusedArea += s.projectSeed(ctx, n, t.span, seed, out, remaining)
+	}
+
 	for !remaining.Empty() {
 		// Step 1: project everything useful from the data store.
-		reusedArea += s.projectFromStore(ctx, n, t.span, out, remaining)
+		reusedArea += s.projectFromStore(ctx, n.Meta, t.span, out, remaining)
 		if remaining.Empty() {
 			break
 		}
@@ -492,12 +547,12 @@ func (r spanReader) StartFetchBatch(ds string, pages []int) { r.ps.StartFetchBat
 // allows more than one worker, batches of candidates whose covered regions
 // are mutually disjoint are projected concurrently (see projectCandidates);
 // otherwise each candidate is projected in turn.
-func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContext, out *query.Blob, remaining *geom.Region) int64 {
+func (s *Server) projectFromStore(ctx rt.Ctx, m query.Meta, sp trace.SpanContext, out *query.Blob, remaining *geom.Region) int64 {
 	if s.ds == nil {
 		return 0
 	}
 	var gained int64
-	cands := s.ds.LookupTraced(sp, n.Meta, s.opts.MinReuseOverlap)
+	cands := s.ds.LookupTraced(sp, m, s.opts.MinReuseOverlap)
 	var projections int64
 	project := trace.SpanContext{}
 	if len(cands) > 0 {
@@ -505,13 +560,13 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContex
 	}
 	workers := query.ResolveParallelism(s.opts.ComputeParallelism)
 	if workers > 1 && !ctx.Synthetic() && len(cands) > 1 {
-		gained, projections = s.projectCandidates(ctx, n, out, remaining, cands, workers)
+		gained, projections = s.projectCandidates(ctx, m, out, remaining, cands, workers)
 	} else {
 		for _, c := range cands {
 			if !remaining.Empty() {
-				coverable := s.app.Coverable(c.Entry.Blob.Meta, n.Meta)
+				coverable := s.app.Coverable(c.Entry.Blob.Meta, m)
 				if remaining.IntersectArea(coverable) > 0 {
-					covered := s.app.Project(ctx, c.Entry.Blob, n.Meta, out)
+					covered := s.app.Project(ctx, c.Entry.Blob, m, out)
 					if !covered.Empty() {
 						newArea := remaining.IntersectArea(covered)
 						remaining.Subtract(covered)
@@ -543,7 +598,7 @@ func (s *Server) projectFromStore(ctx rt.Ctx, n *sched.Node, sp trace.SpanContex
 // first. Within a batch, projections write disjoint output regions and can
 // run concurrently; across batches, serial order is preserved — so the
 // final bytes are identical to the serial walk.
-func (s *Server) projectCandidates(ctx rt.Ctx, n *sched.Node, out *query.Blob, remaining *geom.Region, cands []datastore.Candidate, workers int) (gained, projections int64) {
+func (s *Server) projectCandidates(ctx rt.Ctx, m query.Meta, out *query.Blob, remaining *geom.Region, cands []datastore.Candidate, workers int) (gained, projections int64) {
 	type job struct {
 		entry   *datastore.Entry
 		covered geom.Rect
@@ -554,7 +609,7 @@ func (s *Server) projectCandidates(ctx rt.Ctx, n *sched.Node, out *query.Blob, r
 			return
 		}
 		if len(batch) == 1 {
-			s.app.Project(ctx, batch[0].entry.Blob, n.Meta, out)
+			s.app.Project(ctx, batch[0].entry.Blob, m, out)
 			batch[0].entry.Unpin()
 			batch = batch[:0]
 			return
@@ -574,7 +629,7 @@ func (s *Server) projectCandidates(ctx rt.Ctx, n *sched.Node, out *query.Blob, r
 					if i >= len(batch) {
 						return
 					}
-					s.app.Project(ctx, batch[i].entry.Blob, n.Meta, out)
+					s.app.Project(ctx, batch[i].entry.Blob, m, out)
 					batch[i].entry.Unpin()
 				}
 			}()
@@ -587,7 +642,7 @@ func (s *Server) projectCandidates(ctx rt.Ctx, n *sched.Node, out *query.Blob, r
 			c.Entry.Unpin()
 			continue
 		}
-		coverable := s.app.Coverable(c.Entry.Blob.Meta, n.Meta)
+		coverable := s.app.Coverable(c.Entry.Blob.Meta, m)
 		if remaining.IntersectArea(coverable) == 0 {
 			c.Entry.Unpin()
 			continue

@@ -13,6 +13,9 @@ package trace
 //
 //	server/query                      root; one per query
 //	├── sched/wait                    time in the priority queue
+//	├── (server/batch)                batch-mode parent aggregate, leader only
+//	│   └── (server/compute)          seed computation; pagespace nests below
+//	├── (server/fanout)               batch-mode projection from the seed
 //	├── datastore/lookup              candidate search (per retry round)
 //	├── (server/project)              cached-result projection
 //	├── (server/block)                stall on an EXECUTING producer
@@ -56,6 +59,12 @@ const (
 	OpRead = "read"
 	// OpReadBatch is a multi-page page space access (SubPagespace).
 	OpReadBatch = "readbatch"
+	// OpBatch is the batch executor computing a group's shared parent
+	// aggregate, recorded under the group leader's root (SubServer).
+	OpBatch = "batch"
+	// OpFanout is the batch executor projecting the freshly computed parent
+	// into one group member's output (SubServer).
+	OpFanout = "fanout"
 )
 
 // Attribute keys.
@@ -142,4 +151,7 @@ const (
 	// aggregate the data store's cost policy asked the server to compute
 	// ahead of demand (server/query).
 	AttrMaterialized = "materialized"
+	// AttrGroupSize is the number of queries claimed together by the batch
+	// executor (server/batch).
+	AttrGroupSize = "group_size"
 )

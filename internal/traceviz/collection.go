@@ -43,6 +43,13 @@ const (
 	// KindDisk is one physical disk transfer, attributed to its spindle
 	// resource.
 	KindDisk = "disk"
+	// KindBatch is batch-executor overhead on the group leader: the
+	// server/batch span computing the group's parent aggregate, net of the
+	// IO/compute/reuse nested inside it.
+	KindBatch = "batch"
+	// KindFanout is projection of a batch group's parent aggregate into one
+	// member's output (server/fanout spans).
+	KindFanout = "fanout"
 )
 
 // Interval is one typed, resource-attributed time slice reconstructed from a
@@ -61,13 +68,17 @@ func (iv Interval) Duration() float64 { return iv.End - iv.Start }
 
 // Phases is a query's response time decomposed into the scheduling phases
 // the paper reasons about: queue wait, I/O stall, processing-function
-// compute, data-store reuse bookkeeping, and the unattributed remainder.
-// All values are seconds; Wait+IO+Compute+Reuse+Other ≈ Response.
+// compute, data-store reuse bookkeeping, the batch executor's grouping
+// overhead and seed fan-out (batch strategy only; omitted when zero), and
+// the unattributed remainder. All values are seconds;
+// Wait+IO+Compute+Reuse+Batch+Fanout+Other ≈ Response.
 type Phases struct {
 	Wait    float64 `json:"wait"`
 	IO      float64 `json:"io"`
 	Compute float64 `json:"compute"`
 	Reuse   float64 `json:"reuse"`
+	Batch   float64 `json:"batch,omitempty"`
+	Fanout  float64 `json:"fanout,omitempty"`
 	Other   float64 `json:"other"`
 }
 
@@ -194,7 +205,7 @@ func (c *Collection) sec(t time.Duration) float64 {
 func (c *Collection) reconstructQuery(qid int64, spans []trace.Span, present map[uint64]bool) (Query, []Interval) {
 	q := Query{ID: qid, Thread: -1, Spans: len(spans)}
 	var root *trace.Span
-	var waits, ios, computes, reuses, disks []trace.Span
+	var waits, ios, computes, reuses, disks, batches, fanouts []trace.Span
 	for i := range spans {
 		s := &spans[i]
 		if s.Parent != 0 && !present[s.Parent] {
@@ -211,6 +222,10 @@ func (c *Collection) reconstructQuery(qid int64, spans []trace.Span, present map
 			ios = append(ios, *s)
 		case s.Subsystem == trace.SubServer && s.Op == trace.OpCompute:
 			computes = append(computes, *s)
+		case s.Subsystem == trace.SubServer && s.Op == trace.OpBatch:
+			batches = append(batches, *s)
+		case s.Subsystem == trace.SubServer && s.Op == trace.OpFanout:
+			fanouts = append(fanouts, *s)
 		case s.Subsystem == trace.SubDatastore:
 			reuses = append(reuses, *s)
 		case s.Subsystem == trace.SubDisk && s.Op == trace.OpRead:
@@ -253,11 +268,18 @@ func (c *Collection) reconstructQuery(qid int64, spans []trace.Span, present map
 	ioU := mergeSpans(c, ios)
 	computeU := subtract(mergeSpans(c, computes), ioU)
 	reuseU := mergeSpans(c, reuses)
+	// The batch span nests its seed's IO/compute/reuse; netting those out
+	// leaves only the executor's own grouping overhead.
+	batchU := subtract(subtract(subtract(mergeSpans(c, batches), ioU), computeU), reuseU)
+	fanoutU := mergeSpans(c, fanouts)
 	q.Phases.Wait = totalOf(waitU)
 	q.Phases.IO = totalOf(ioU)
 	q.Phases.Compute = totalOf(computeU)
 	q.Phases.Reuse = totalOf(reuseU)
-	q.Phases.Other = q.Response - q.Phases.Wait - q.Phases.IO - q.Phases.Compute - q.Phases.Reuse
+	q.Phases.Batch = totalOf(batchU)
+	q.Phases.Fanout = totalOf(fanoutU)
+	q.Phases.Other = q.Response - q.Phases.Wait - q.Phases.IO - q.Phases.Compute -
+		q.Phases.Reuse - q.Phases.Batch - q.Phases.Fanout
 	if q.Phases.Other < 0 {
 		q.Phases.Other = 0
 	}
@@ -275,6 +297,13 @@ func (c *Collection) reconstructQuery(qid int64, spans []trace.Span, present map
 	add(KindIO, "", ioU)
 	add(KindCompute, "", computeU)
 	add(KindReuse, "", reuseU)
+	// The batch interval is the raw span extent (when the leader was
+	// computing the group's seed — on the simulated runtime the net overhead
+	// is often zero, but the window still matters visually); the batch
+	// *phase* above stays net of the nested IO/compute/reuse so phases sum
+	// to the response.
+	add(KindBatch, "", mergeSpans(c, batches))
+	add(KindFanout, "", fanoutU)
 
 	// Exec: queue exit (end of the last wait) to root end, on the worker.
 	if root != nil {

@@ -91,6 +91,8 @@ func Diff(a, b *Collection) *DiffReport {
 			{"io", sa.MeanPhases.IO, sb.MeanPhases.IO},
 			{"compute", sa.MeanPhases.Compute, sb.MeanPhases.Compute},
 			{"reuse", sa.MeanPhases.Reuse, sb.MeanPhases.Reuse},
+			{"batch", sa.MeanPhases.Batch, sb.MeanPhases.Batch},
+			{"fanout", sa.MeanPhases.Fanout, sb.MeanPhases.Fanout},
 			{"other", sa.MeanPhases.Other, sb.MeanPhases.Other},
 		} {
 			sd.Phases = append(sd.Phases, PhaseDiff{Phase: ph.name, Pair: pairOf(ph.av, ph.bv)})

@@ -59,9 +59,10 @@ func checkGolden(t *testing.T, name string, v any) {
 func TestGoldenSamples(t *testing.T) {
 	fifo := loadSample(t, "sample_fifo")
 	cnbf := loadSample(t, "sample_cnbf")
+	batch := loadSample(t, "sample_batch")
 
-	// Both samples: 4 emulated clients' queries over 2 spindles, 2 workers.
-	for _, c := range []*Collection{fifo, cnbf} {
+	// All samples: 4 emulated clients' queries over 2 spindles, 2 workers.
+	for _, c := range []*Collection{fifo, cnbf, batch} {
 		if len(c.Queries) == 0 {
 			t.Fatalf("%s: no queries reconstructed", c.Name)
 		}
@@ -78,12 +79,31 @@ func TestGoldenSamples(t *testing.T) {
 		}
 	}
 
+	// The batch capture must exercise the vocabulary contract of DESIGN.md
+	// §11: server/batch and server/fanout spans reconstruct into batch and
+	// fanout intervals and phases.
+	var batchIvs, fanoutIvs int
+	for _, iv := range batch.Intervals {
+		switch iv.Kind {
+		case KindBatch:
+			batchIvs++
+		case KindFanout:
+			fanoutIvs++
+		}
+	}
+	if batchIvs == 0 || fanoutIvs == 0 {
+		t.Errorf("sample_batch: %d batch and %d fanout intervals, want both > 0", batchIvs, fanoutIvs)
+	}
+
 	checkGolden(t, "sample_fifo.queries", fifo.Queries)
 	checkGolden(t, "sample_cnbf.queries", cnbf.Queries)
+	checkGolden(t, "sample_batch.queries", batch.Queries)
 	checkGolden(t, "sample_fifo.utilization", Utilization(fifo, 24))
 	checkGolden(t, "sample_cnbf.utilization", Utilization(cnbf, 24))
 	checkGolden(t, "sample_fifo.timelines", ComputeTimelines(fifo, 24))
 	checkGolden(t, "sample_fifo.breakdown", Breakdown(fifo))
 	checkGolden(t, "sample_cnbf.breakdown", Breakdown(cnbf))
+	checkGolden(t, "sample_batch.breakdown", Breakdown(batch))
 	checkGolden(t, "diff_fifo_cnbf", Diff(fifo, cnbf))
+	checkGolden(t, "diff_cnbf_batch", Diff(cnbf, batch))
 }

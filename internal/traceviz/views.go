@@ -242,6 +242,8 @@ func Breakdown(c *Collection) []StrategyBreakdown {
 		a.phases.IO += q.Phases.IO
 		a.phases.Compute += q.Phases.Compute
 		a.phases.Reuse += q.Phases.Reuse
+		a.phases.Batch += q.Phases.Batch
+		a.phases.Fanout += q.Phases.Fanout
 		a.phases.Other += q.Phases.Other
 		a.resp = append(a.resp, q.Response)
 		a.reused += q.Reused
@@ -256,6 +258,7 @@ func Breakdown(c *Collection) []StrategyBreakdown {
 			b.MeanPhases = Phases{
 				Wait: a.phases.Wait / fn, IO: a.phases.IO / fn,
 				Compute: a.phases.Compute / fn, Reuse: a.phases.Reuse / fn,
+				Batch: a.phases.Batch / fn, Fanout: a.phases.Fanout / fn,
 				Other: a.phases.Other / fn,
 			}
 			sort.Float64s(a.resp)

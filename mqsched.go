@@ -179,9 +179,18 @@ const (
 type Config struct {
 	// Mode selects the substrate (default Simulated).
 	Mode Mode
-	// Policy is the ranking strategy: fifo, muf, ff, cf, cnbf, sjf
+	// Policy is the ranking strategy — one of sched.Names(): the paper's
+	// fifo, muf, ff, cf, cnbf, sjf plus the data-driven batch executor
 	// (default cf, the paper's α=0.2).
 	Policy string
+	// BatchStarvation tunes the batch policy's aging blend back toward
+	// arrival order: 0 keeps sched.DefaultBatchStarvation, negative disables
+	// aging entirely (pure data-hotness order, starvation-prone). Ignored by
+	// every other policy.
+	BatchStarvation float64
+	// BatchMaxGroup caps the queries one batch dispatch claims together
+	// (0 = server.DefaultBatchMaxGroup). Ignored by every other policy.
+	BatchMaxGroup int
 	// Threads is the query-thread pool size (default 4).
 	Threads int
 	// CPUs is the simulated SMP's processor count (default 24; ignored on
@@ -316,7 +325,16 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 	}
 	policy, ok := sched.ByName(cfg.Policy, s.app)
 	if !ok {
-		return nil, fmt.Errorf("mqsched: unknown policy %q (want fifo, muf, ff, cf, cnbf, sjf)", cfg.Policy)
+		return nil, fmt.Errorf("mqsched: unknown policy %q (want %s)", cfg.Policy, strings.Join(sched.Names(), ", "))
+	}
+	if bp, isBatch := policy.(sched.Batch); isBatch {
+		switch {
+		case cfg.BatchStarvation > 0:
+			bp.Starvation = cfg.BatchStarvation
+		case cfg.BatchStarvation < 0:
+			bp.Starvation = 0
+		}
+		policy = bp
 	}
 
 	if cfg.EnableMetrics {
@@ -359,6 +377,7 @@ func NewWithGenerator(cfg Config, table *dataset.Table, gen disk.Generator) (*Sy
 		BlockOnExecuting:   !cfg.DisableBlocking,
 		ComputeParallelism: cfg.ComputeParallelism,
 		MaterializeLimit:   cfg.DSMaterializeLimit,
+		BatchMaxGroup:      cfg.BatchMaxGroup,
 		Tracer:             s.tracer,
 		Spans:              s.spans,
 		Metrics:            s.reg,
