@@ -23,6 +23,9 @@ import (
 	"testing"
 	"time"
 
+	"mqsched"
+
+	"mqsched/internal/cluster"
 	"mqsched/internal/dataset"
 	"mqsched/internal/datastore"
 	"mqsched/internal/disk"
@@ -44,6 +47,7 @@ var (
 	diskOut       = flag.String("diskout", "", "write BenchmarkDiskSweep results as JSON to this path")
 	cacheOut      = flag.String("cacheout", "", "write BenchmarkCacheSweep results as JSON to this path")
 	batchOut      = flag.String("batchout", "", "write BenchmarkBatchSweep results as JSON to this path")
+	clusterOut    = flag.String("clusterout", "", "write BenchmarkClusterSweep results as JSON to this path")
 )
 
 // benchBase returns the benchmark workload scale.
@@ -895,5 +899,173 @@ func BenchmarkCalibration(b *testing.B) {
 				b.ReportMetric(m.CPUToIORatio, "ratio")
 			}
 		})
+	}
+}
+
+// clusterSlides is the homogeneous slide fleet BenchmarkClusterSweep
+// deploys: three large slides so the Zipfian dataset skew (s=1.1) leaves a
+// clear hot dataset for routing policies to disagree over.
+func clusterSlides() []mqsched.Slide {
+	return []mqsched.Slide{
+		{Name: "slide1", Width: 65536, Height: 65536},
+		{Name: "slide2", Width: 65536, Height: 65536},
+		{Name: "slide3", Width: 65536, Height: 65536},
+	}
+}
+
+type clusterArm struct {
+	backends                  int
+	routing                   string
+	offered, achieved         float64
+	meanReuse, serverReuse    float64
+	p95MS                     float64
+	spills, dropped, errCount int
+}
+
+// clusterSweepRun boots an in-process cluster (router + N live Real-mode
+// servers), offers a Zipfian open-loop stream scaled to the node count, and
+// reports the achieved throughput and cache-reuse of the arm.
+func clusterSweepRun(b *testing.B, backends int, routing cluster.Routing, perNode float64, warm, dur time.Duration) clusterArm {
+	b.Helper()
+	h, err := cluster.StartHarness(cluster.HarnessConfig{
+		Backends: backends,
+		Slides:   clusterSlides(),
+		System: mqsched.Config{
+			Policy:        "cnbf",
+			Threads:       4,
+			TimeScale:     0.004,
+			DSBudget:      32 << 20,
+			PSBudget:      16 << 20,
+			EnableMetrics: true,
+		},
+		Router: cluster.Config{
+			Routing:        routing,
+			SpillDepth:     4,
+			HealthInterval: -1, // no failures injected; keep the arm quiet
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+
+	table := mqsched.NewSlideTable(clusterSlides()...)
+	gen := load.GenConfig{
+		Users:              300,
+		DatasetZipfS:       1.1,
+		HotspotsPerDataset: 4,
+		HotspotZipfS:       1.2,
+		UserZipfS:          0.6,
+		OutputSide:         128,
+		Op:                 vm.Subsample,
+		Seed:               1,
+	}
+	rate := perNode * float64(backends)
+	n := int(rate * (warm + dur).Seconds())
+	items := load.Build(gen, table, load.ArrivalConfig{Process: load.Poisson, Rate: rate, Seed: 1}, n)
+	res, err := load.Run(load.RunnerConfig{
+		Addr:    h.Addr,
+		Workers: 32 * backends,
+		Warmup:  warm,
+	}, items, rate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := h.Router.Stats()
+	return clusterArm{
+		backends: backends,
+		routing:  routing.String(),
+		offered:  rate, achieved: res.AchievedQPS,
+		meanReuse: res.MeanReuse, serverReuse: res.ServerReusedFrac,
+		p95MS:    res.Latency.Quantile(95),
+		spills:   int(st.Spilled),
+		dropped:  res.Dropped,
+		errCount: res.Errors,
+	}
+}
+
+// BenchmarkClusterSweep measures horizontal scale-out through the region-
+// affine router: achieved throughput and cache reuse at 1, 2, and 4 backends
+// under an offered load proportional to the node count, plus a 4-backend
+// dataset-hash arm showing why the affinity key includes the spatial cell
+// (dataset hashing saturates the Zipf-hot backend; its spill overflow
+// scatters overlapping sessions and costs reuse). With -clusterout=PATH the
+// sweep is written as JSON — BENCH_cluster.json in the repository root,
+// gated by cmd/benchdiff in CI.
+func BenchmarkClusterSweep(b *testing.B) {
+	const perNode = 45.0
+	warm, dur := time.Second, 3*time.Second
+	type armKey struct {
+		backends int
+		routing  cluster.Routing
+	}
+	sweep := []armKey{
+		{1, cluster.RouteAffine},
+		{2, cluster.RouteAffine},
+		{4, cluster.RouteAffine},
+		{4, cluster.RouteDataset},
+	}
+	best := map[armKey]clusterArm{}
+	for _, k := range sweep {
+		b.Run(fmt.Sprintf("backends=%d/routing=%s", k.backends, k.routing), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := clusterSweepRun(b, k.backends, k.routing, perNode, warm, dur)
+				if a.errCount > 0 {
+					b.Fatalf("%d query errors in a healthy cluster", a.errCount)
+				}
+				if cur, ok := best[k]; !ok || a.achieved > cur.achieved {
+					best[k] = a
+				}
+				b.ReportMetric(a.achieved, "qps")
+				b.ReportMetric(a.meanReuse, "reuse")
+			}
+		})
+	}
+	if *clusterOut == "" {
+		return
+	}
+	type point struct {
+		Backends         int     `json:"backends"`
+		Routing          string  `json:"routing"`
+		OfferedQPS       float64 `json:"offered_qps"`
+		AchievedQPS      float64 `json:"achieved_qps"`
+		MeanReuse        float64 `json:"mean_reuse"`
+		ServerReusedFrac float64 `json:"server_reused_frac"`
+		P95MS            float64 `json:"p95_ms"`
+		Spills           int     `json:"spills"`
+		Dropped          int     `json:"dropped"`
+	}
+	var pts []point
+	for _, k := range sweep {
+		a := best[k]
+		pts = append(pts, point{
+			Backends: a.backends, Routing: a.routing,
+			OfferedQPS: a.offered, AchievedQPS: a.achieved,
+			MeanReuse: a.meanReuse, ServerReusedFrac: a.serverReuse,
+			P95MS: a.p95MS, Spills: a.spills, Dropped: a.dropped,
+		})
+	}
+	scaling := 0.0
+	if one := best[armKey{1, cluster.RouteAffine}].achieved; one > 0 {
+		scaling = best[armKey{4, cluster.RouteAffine}].achieved / one
+	}
+	reuseGain := 0.0
+	if d := best[armKey{4, cluster.RouteDataset}].meanReuse; d > 0 {
+		reuseGain = best[armKey{4, cluster.RouteAffine}].meanReuse / d
+	}
+	out := struct {
+		Benchmark       string  `json:"benchmark"`
+		PerNodeQPS      float64 `json:"per_node_offered_qps"`
+		Points          []point `json:"points"`
+		ScalingX4       float64 `json:"scaling_x4"`
+		AffineReuseGain float64 `json:"affine_reuse_gain"`
+	}{Benchmark: "BenchmarkClusterSweep", PerNodeQPS: perNode, Points: pts,
+		ScalingX4: scaling, AffineReuseGain: reuseGain}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*clusterOut, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

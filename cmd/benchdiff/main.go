@@ -3,7 +3,7 @@
 // when any throughput metric regresses beyond the tolerance, turning the
 // previously upload-only artifacts into a pass/fail check.
 //
-// It understands the six result formats the repository commits:
+// It understands the seven result formats the repository commits:
 // BENCH_scaling.json (BenchmarkScaling: qps per thread count),
 // BENCH_disk.json (BenchmarkDiskSweep: pages/sec per discipline plus the
 // elevator speedup), BENCH_load.json (mqload: achieved qps per strategy and
@@ -12,7 +12,10 @@
 // reuse-gain and p95-speedup ratios — all deterministic virtual-time
 // numbers), BENCH_batch.json (BenchmarkBatchSweep: the batch-vs-cnbf
 // crossover; only the batch/cnbf qps-gain and p95-guard ratios are gated —
-// they are same-machine ratios, while absolute qps is wall-clock), and
+// they are same-machine ratios, while absolute qps is wall-clock),
+// BENCH_cluster.json (BenchmarkClusterSweep: per-arm reuse fractions plus
+// the 4-vs-1-backend scale-out ratio and the affine-vs-dataset reuse gain —
+// absolute qps is wall-clock and does not gate), and
 // BENCH_kernels.json (the {vm, vol, large_query} kernel composite; only the
 // opt-vs-ref speedup ratios are gated — absolute MB/s varies too much
 // across runner hardware). Only higher-is-better metrics are gated —
@@ -169,6 +172,33 @@ func metricsOf(data []byte) (kind string, metrics map[string]float64, err error)
 		}
 		if f.P95Guard != 0 {
 			metrics["low overlap p95 guard"] = f.P95Guard
+		}
+	case "BenchmarkClusterSweep":
+		var f struct {
+			Points []struct {
+				Backends    int     `json:"backends"`
+				Routing     string  `json:"routing"`
+				AchievedQPS float64 `json:"achieved_qps"`
+				MeanReuse   float64 `json:"mean_reuse"`
+			} `json:"points"`
+			ScalingX4       float64 `json:"scaling_x4"`
+			AffineReuseGain float64 `json:"affine_reuse_gain"`
+		}
+		if err := json.Unmarshal(data, &f); err != nil {
+			return "", nil, err
+		}
+		// Absolute qps per arm is wall-clock; the scale-out ratio
+		// (4-backend vs 1-backend affine) and the affine-vs-dataset reuse
+		// gain are same-machine same-run ratios, so they gate. Reuse
+		// fractions are server-reported and stable, so they gate too.
+		for _, p := range f.Points {
+			metrics[fmt.Sprintf("backends=%d routing=%s reuse", p.Backends, p.Routing)] = p.MeanReuse
+		}
+		if f.ScalingX4 != 0 {
+			metrics["cluster scaling x4"] = f.ScalingX4
+		}
+		if f.AffineReuseGain != 0 {
+			metrics["affine reuse gain"] = f.AffineReuseGain
 		}
 	case "mqload":
 		var f struct {

@@ -326,3 +326,65 @@ func TestCompareNewMetricIsInformational(t *testing.T) {
 		t.Fatalf("report omits new metric:\n%s", report)
 	}
 }
+
+const clusterJSON = `{
+  "benchmark": "BenchmarkClusterSweep",
+  "per_node_offered_qps": 45,
+  "points": [
+    {"backends": 1, "routing": "affine", "offered_qps": 45, "achieved_qps": 39.7, "mean_reuse": 0.57, "p95_ms": 47.0, "spills": 0},
+    {"backends": 4, "routing": "affine", "offered_qps": 180, "achieved_qps": 190.3, "mean_reuse": 0.64, "p95_ms": 39.3, "spills": 14},
+    {"backends": 4, "routing": "dataset", "offered_qps": 180, "achieved_qps": 189.8, "mean_reuse": 0.5, "p95_ms": 66.0, "spills": 180}
+  ],
+  "scaling_x4": 4.79,
+  "affine_reuse_gain": 1.28
+}`
+
+func TestMetricsOfClusterSweep(t *testing.T) {
+	kind, m, err := metricsOf([]byte(clusterJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "BenchmarkClusterSweep" {
+		t.Fatalf("kind %q", kind)
+	}
+	want := map[string]float64{
+		"backends=1 routing=affine reuse":  0.57,
+		"backends=4 routing=affine reuse":  0.64,
+		"backends=4 routing=dataset reuse": 0.5,
+		"cluster scaling x4":               4.79,
+		"affine reuse gain":                1.28,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v (all: %v)", k, m[k], v, m)
+		}
+	}
+	// Absolute qps and latency are wall-clock and must not gate.
+	if len(m) != len(want) {
+		t.Fatalf("want %d metrics, got %v", len(want), m)
+	}
+}
+
+// TestMetricsOfCommittedClusterBaseline: the committed BENCH_cluster.json
+// parses and clears the scale-out acceptance bars — at least 1.6x qps at 4
+// backends vs 1, with region-affine routing beating dataset hashing on
+// cache reuse at equal node count.
+func TestMetricsOfCommittedClusterBaseline(t *testing.T) {
+	kind, m, err := metricsOfFile("../../BENCH_cluster.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "BenchmarkClusterSweep" {
+		t.Fatalf("kind %q", kind)
+	}
+	if m["cluster scaling x4"] < 1.6 {
+		t.Fatalf("baseline scaling %v, want >= 1.6", m["cluster scaling x4"])
+	}
+	if m["affine reuse gain"] <= 1 {
+		t.Fatalf("baseline affine reuse gain %v, want > 1", m["affine reuse gain"])
+	}
+	if m["backends=4 routing=affine reuse"] <= m["backends=4 routing=dataset reuse"] {
+		t.Fatalf("affine reuse %v should beat dataset reuse %v",
+			m["backends=4 routing=affine reuse"], m["backends=4 routing=dataset reuse"])
+	}
+}

@@ -14,6 +14,10 @@
 //	mqload -addr localhost:9123 -strategy cnbf -rates 25,50,100 \
 //	       -duration 10s -warmup 2s -out BENCH_load.json
 //
+// -addr repeats (or takes a comma-separated list) to round-robin the stream
+// across several servers client-side — or point it at one cmd/mqrouter and
+// let the cluster route by region affinity instead.
+//
 // Repeat against servers running other policies with the same -out: the
 // file accumulates one entry per strategy, which is what BENCH_load.json
 // in the repository root records and CI's benchdiff gate compares against.
@@ -38,8 +42,9 @@ import (
 )
 
 func main() {
+	var addrs addrList
+	flag.Var(&addrs, "addr", "mqserver or mqrouter address; repeat the flag or comma-separate to round-robin across servers (default localhost:9123)")
 	var (
-		addr     = flag.String("addr", "localhost:9123", "mqserver address")
 		strategy = flag.String("strategy", "", "label for this server's ranking strategy, normally one of "+strings.Join(sched.Names(), ", ")+" (required with -out)")
 		slides   = flag.String("slides", "slide1:16384x16384,slide2:16384x16384,slide3:16384x16384", "comma-separated name:WxH slide list (must match the server)")
 		users    = flag.Int("users", 1000, "simulated user sessions")
@@ -64,6 +69,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if len(addrs) == 0 {
+		addrs = addrList{"localhost:9123"}
+	}
 	op, err := vm.ParseOp(*opName)
 	if err != nil {
 		usageError(err)
@@ -105,7 +113,7 @@ func main() {
 		usageError(err)
 	}
 	runCfg := load.RunnerConfig{
-		Addr:     *addr,
+		Addrs:    addrs,
 		Workers:  *workers,
 		QueueCap: *queueCap,
 		Warmup:   *warmup,
@@ -128,7 +136,7 @@ func main() {
 		strat.Name = "unlabeled"
 	}
 	fmt.Printf("mqload: %s, %d users, %s arrivals, sweep %v qps, %s + %s warmup per rate\n",
-		*addr, *users, proc, sweep, *duration, *warmup)
+		strings.Join(addrs, ","), *users, proc, sweep, *duration, *warmup)
 	for _, rate := range sweep {
 		ar := load.ArrivalConfig{
 			Process: proc, Rate: rate,
@@ -331,6 +339,28 @@ func parseSlides(s string) ([]mqsched.Slide, error) {
 		out = append(out, mqsched.Slide{Name: name, Width: w, Height: h})
 	}
 	return out, nil
+}
+
+// addrList collects -addr values: the flag repeats, and each value may
+// itself be a comma-separated list. Blank entries are usage errors.
+type addrList []string
+
+func (a *addrList) String() string { return strings.Join(*a, ",") }
+
+func (a *addrList) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return fmt.Errorf("empty server address in -addr %q", v)
+		}
+		for _, prev := range *a {
+			if prev == part {
+				return fmt.Errorf("duplicate server address %q", part)
+			}
+		}
+		*a = append(*a, part)
+	}
+	return nil
 }
 
 func usageError(err error) {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestAddrList pins the -addr flag contract: repeats accumulate, commas
+// split, blanks and duplicates are rejected (the flag package turns a Set
+// error into usage + exit 2).
+func TestAddrList(t *testing.T) {
+	var a addrList
+	for _, v := range []string{"h1:9123", "h2:9123,h3:9123"} {
+		if err := a.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(a) != 3 || a[0] != "h1:9123" || a[2] != "h3:9123" {
+		t.Fatalf("addrs = %v", a)
+	}
+	for _, bad := range []string{"", " ", "h4:9123,,h5:9123", "h1:9123"} {
+		var fresh addrList
+		fresh.Set("h1:9123")
+		if err := fresh.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAddrFlagUsageError confirms the wiring: parsing a bad -addr through a
+// flag set fails (main's real FlagSet uses ExitOnError, making this exit 2).
+func TestAddrFlagUsageError(t *testing.T) {
+	var a addrList
+	fs := flag.NewFlagSet("mqload", flag.ContinueOnError)
+	fs.SetOutput(discard{})
+	fs.Var(&a, "addr", "")
+	if err := fs.Parse([]string{"-addr", "h1:9123,"}); err == nil {
+		t.Fatal("trailing comma should be a usage error")
+	}
+	a = nil // the failed parse already consumed the pre-comma entry
+	if err := fs.Parse([]string{"-addr", "h1:9123", "-addr", "h2:9123"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 {
+		t.Fatalf("addrs = %v", a)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"mqsched"
+	"mqsched/internal/netproto"
+)
+
+// HarnessConfig configures an in-process cluster: N live Real-mode mqsched
+// systems each served on a loopback listener, fronted by one Router served
+// on its own listener. Tests and BenchmarkClusterSweep use it to exercise
+// the full wire path — client → router → backend → middleware — in one
+// process.
+type HarnessConfig struct {
+	// Backends is the number of backend servers (required, >= 1).
+	Backends int
+	// Slides are the datasets every backend registers (identical tables, as
+	// a homogeneous fleet would be deployed).
+	Slides []mqsched.Slide
+	// System is the per-backend configuration template; Mode is forced to
+	// Real (netproto serving requires it).
+	System mqsched.Config
+	// Router configures routing; Backends is filled in by the harness.
+	Router Config
+	// Logf receives server/router logs (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// Harness is a started in-process cluster.
+type Harness struct {
+	// Systems are the backend middleware stacks, index-aligned with
+	// BackendAddrs.
+	Systems []*mqsched.System
+	// BackendAddrs are the backends' loopback addresses.
+	BackendAddrs []string
+	// Router is the fronting router (also reachable over Addr).
+	Router *Router
+	// Addr is the router's loopback address — point clients and mqload here.
+	Addr string
+
+	listeners []net.Listener
+	routerL   net.Listener
+}
+
+// StartHarness boots the backends and the router. On error everything
+// already started is torn down.
+func StartHarness(hc HarnessConfig) (*Harness, error) {
+	if hc.Backends < 1 {
+		return nil, fmt.Errorf("cluster: harness needs >= 1 backend, got %d", hc.Backends)
+	}
+	if len(hc.Slides) == 0 {
+		return nil, fmt.Errorf("cluster: harness needs at least one slide")
+	}
+	logf := hc.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	h := &Harness{}
+	fail := func(err error) (*Harness, error) {
+		h.Close()
+		return nil, err
+	}
+	for i := 0; i < hc.Backends; i++ {
+		cfg := hc.System
+		cfg.Mode = mqsched.Real
+		sys, err := mqsched.New(cfg, mqsched.NewSlideTable(hc.Slides...))
+		if err != nil {
+			return fail(fmt.Errorf("cluster: backend %d: %w", i, err))
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(fmt.Errorf("cluster: backend %d listen: %w", i, err))
+		}
+		h.Systems = append(h.Systems, sys)
+		h.listeners = append(h.listeners, l)
+		h.BackendAddrs = append(h.BackendAddrs, l.Addr().String())
+		go netproto.Serve(l, sys, logf)
+	}
+
+	rc := hc.Router
+	rc.Backends = h.BackendAddrs
+	if rc.Logf == nil {
+		rc.Logf = logf
+	}
+	router, err := New(rc)
+	if err != nil {
+		return fail(err)
+	}
+	h.Router = router
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(fmt.Errorf("cluster: router listen: %w", err))
+	}
+	h.routerL = rl
+	h.Addr = rl.Addr().String()
+	go netproto.ServeHandler(rl, router, logf)
+	return h, nil
+}
+
+// Close tears the cluster down front to back: the router listener and
+// router drain first (in-flight queries complete), then the backend
+// listeners and servers.
+func (h *Harness) Close() {
+	if h.routerL != nil {
+		h.routerL.Close()
+	}
+	if h.Router != nil {
+		h.Router.Close()
+	}
+	for _, l := range h.listeners {
+		l.Close()
+	}
+	for _, sys := range h.Systems {
+		sys.Server().Close()
+	}
+}

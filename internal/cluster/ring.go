@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"mqsched/internal/geom"
+)
+
+// Routing selects how a query maps to a backend.
+type Routing int
+
+const (
+	// RouteAffine hashes (dataset, coarse spatial cell of the query region)
+	// onto the ring, so overlapping pan/zoom sessions land on the same node
+	// and keep hitting its datastore/pagespace caches while one dataset's
+	// hotspots still spread across the cluster. The default.
+	RouteAffine Routing = iota
+	// RouteDataset hashes the dataset name only — every query on a dataset
+	// shares one affine target. Simpler, but under skewed dataset popularity
+	// the hot dataset's node saturates and the spill policy scatters its
+	// overflow, losing cache locality (BenchmarkClusterSweep measures the
+	// difference).
+	RouteDataset
+)
+
+// String names the routing mode.
+func (r Routing) String() string {
+	switch r {
+	case RouteAffine:
+		return "affine"
+	case RouteDataset:
+		return "dataset"
+	}
+	return fmt.Sprintf("routing(%d)", int(r))
+}
+
+// ParseRouting parses "affine" or "dataset".
+func ParseRouting(s string) (Routing, error) {
+	switch s {
+	case "affine", "":
+		return RouteAffine, nil
+	case "dataset":
+		return RouteDataset, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown routing %q (want affine or dataset)", s)
+}
+
+// affineKey is the ring key of one query: the dataset plus, under
+// RouteAffine, the coarse spatial cell its window's center falls in. Cells
+// are cellSize×cellSize tiles of the base-resolution plane, so consecutive
+// session steps (half-window pans, zoom ladder moves around a hotspot)
+// usually stay in one cell and route to one backend.
+func affineKey(mode Routing, cellSize int64, ds string, w geom.Rect) string {
+	if mode == RouteDataset {
+		return ds
+	}
+	cx := geom.FloorDiv((w.X0+w.X1)/2, cellSize)
+	cy := geom.FloorDiv((w.Y0+w.Y1)/2, cellSize)
+	return fmt.Sprintf("%s\x00%d,%d", ds, cx, cy)
+}
+
+// ring is a consistent-hash ring over backend indices: each backend owns
+// `replicas` pseudo-random points on the uint64 circle, and a key belongs to
+// the first point at or clockwise of its hash. Consistency is the point:
+// adding or removing one backend only remaps the keys adjacent to its
+// points, so a resize or mark-down leaves most sessions on the node that
+// already holds their cached state.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+func newRing(n, replicas int) *ring {
+	r := &ring{points: make([]ringPoint, 0, n*replicas)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%d#%d", i, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// owner returns the backend owning key, skipping backends alive() rejects.
+// ok is false when alive rejects every backend.
+func (r *ring) owner(key string, alive func(int) bool) (idx int, ok bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for off := 0; off < len(r.points); off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if alive(p.idx) {
+			return p.idx, true
+		}
+	}
+	return 0, false
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

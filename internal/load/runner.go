@@ -14,10 +14,14 @@ import (
 )
 
 // RunnerConfig configures one open-loop measurement phase against a live
-// server.
+// server (or several — a fleet addressed directly, or one mqrouter).
 type RunnerConfig struct {
 	// Addr is the mqserver address.
 	Addr string
+	// Addrs addresses several servers at once: queries round-robin across
+	// them and the reuse scrape sums every server's counters. Mutually
+	// exclusive with Addr.
+	Addrs []string
 	// Workers bounds concurrent in-flight requests and the connection pool
 	// size (default 32).
 	Workers int
@@ -51,11 +55,29 @@ func (c RunnerConfig) withDefaults() RunnerConfig {
 	return c
 }
 
+// addrs is the effective server list.
+func (c RunnerConfig) addrs() []string {
+	if len(c.Addrs) > 0 {
+		return c.Addrs
+	}
+	if c.Addr != "" {
+		return []string{c.Addr}
+	}
+	return nil
+}
+
 // Validate reports the first configuration error.
 func (c RunnerConfig) Validate() error {
 	d := c.withDefaults()
+	for _, a := range c.Addrs {
+		if strings.TrimSpace(a) == "" {
+			return fmt.Errorf("load: empty server address in Addrs")
+		}
+	}
 	switch {
-	case c.Addr == "":
+	case c.Addr != "" && len(c.Addrs) > 0:
+		return fmt.Errorf("load: set Addr or Addrs, not both")
+	case len(c.addrs()) == 0:
 		return fmt.Errorf("load: runner needs a server address")
 	case d.Workers < 1:
 		return fmt.Errorf("load: workers %d < 1", c.Workers)
@@ -122,17 +144,24 @@ func Run(cfg RunnerConfig, items []Item, offered float64) (Result, error) {
 	}
 	cfg = cfg.withDefaults()
 
-	pool := netproto.NewPool(cfg.Addr, cfg.Workers, cfg.DialTimeout)
-	defer pool.Close()
-	// Fail fast if the server is unreachable or unhealthy, before starting
-	// the clock. A transport success with an application-level error (e.g. a
-	// server refusing the verb) is just as fatal as a failed dial.
-	probe, err := pool.Get().Do(&netproto.Request{Verb: netproto.VerbMetrics})
-	if err == nil && probe.Err != "" {
-		err = fmt.Errorf("server error: %s", probe.Err)
+	addrs := cfg.addrs()
+	pools := make([]*netproto.Pool, len(addrs))
+	for i, a := range addrs {
+		pools[i] = netproto.NewPool(a, cfg.Workers, cfg.DialTimeout)
 	}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+	// Fail fast if any server is unreachable or unhealthy, before starting
+	// the clock. A transport success with an application-level error (e.g. a
+	// server refusing the verb) is just as fatal as a failed dial. The
+	// concatenated scrapes seed the reuse delta: counterValue sums samples, so
+	// multi-server counters aggregate exactly like one server's.
+	before, err := scrapeAll(pools, addrs)
 	if err != nil {
-		return Result{}, fmt.Errorf("load: probing %s: %w", cfg.Addr, err)
+		return Result{}, err
 	}
 
 	res := Result{Offered: offered, Latency: stats.NewSketch(cfg.RelErr)}
@@ -162,7 +191,7 @@ func Run(cfg RunnerConfig, items []Item, offered float64) (Result, error) {
 					OmitPixels: true,
 				}
 				t0 := time.Now()
-				resp, err := pool.Get().Do(req)
+				resp, err := pools[it.Seq%len(pools)].Get().Do(req)
 				lat := time.Since(t0)
 				if err == nil && resp.Err != "" {
 					err = fmt.Errorf("%s", resp.Err)
@@ -229,13 +258,32 @@ func Run(cfg RunnerConfig, items []Item, offered float64) (Result, error) {
 	if res.Measured > 0 {
 		res.MeanReuse = reuseSum / float64(res.Measured)
 	}
-	// Re-scrape the server's output-byte counters; the delta over the phase
+	// Re-scrape the servers' output-byte counters; the delta over the phase
 	// gives the byte-weighted reuse fraction. A failed scrape only costs
 	// this one derived field, never the phase.
-	if after, err := pool.Get().Do(&netproto.Request{Verb: netproto.VerbMetrics}); err == nil && after.Err == "" {
-		res.ServerReusedFrac = reusedFracDelta(probe.Metrics, after.Metrics)
+	if after, err := scrapeAll(pools, addrs); err == nil {
+		res.ServerReusedFrac = reusedFracDelta(before, after)
 	}
 	return res, nil
+}
+
+// scrapeAll fetches every server's METRICS dump and concatenates them;
+// counterValue sums samples across the result, making multi-server reuse
+// deltas cluster-wide for free.
+func scrapeAll(pools []*netproto.Pool, addrs []string) (string, error) {
+	var sb strings.Builder
+	for i, p := range pools {
+		resp, err := p.Get().Do(&netproto.Request{Verb: netproto.VerbMetrics})
+		if err == nil && resp.Err != "" {
+			err = fmt.Errorf("server error: %s", resp.Err)
+		}
+		if err != nil {
+			return "", fmt.Errorf("load: probing %s: %w", addrs[i], err)
+		}
+		sb.WriteString(resp.Metrics)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
 }
 
 // measuredWindow is the post-warmup portion of the phase. A phase that ends

@@ -225,3 +225,50 @@ m{a="y"} 2
 		t.Fatalf("no-delta frac = %v", got)
 	}
 }
+
+// TestRunnerMultiAddr spreads one stream across two live servers: queries
+// round-robin, accounting still adds up, and the reuse scrape aggregates
+// both servers' counters.
+func TestRunnerMultiAddr(t *testing.T) {
+	addrA, addrB := liveServer(t), liveServer(t)
+	table := testTable4k()
+	cfg := testGenConfig()
+	cfg.OutputSide = 64
+	const rate = 200.0
+	items := Build(cfg, table, ArrivalConfig{Process: Poisson, Rate: rate, Seed: 2}, 80)
+
+	res, err := Run(RunnerConfig{
+		Addrs: []string{addrA, addrB}, Workers: 8, Warmup: 50 * time.Millisecond,
+	}, items, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Completed != len(items) {
+		t.Fatalf("completed %d errors %d of %d", res.Completed, res.Errors, len(items))
+	}
+	// Both servers actually served: each holds a nonzero submitted counter.
+	for _, addr := range []string{addrA, addrB} {
+		c := netproto.NewClient(addr, time.Second)
+		resp, err := c.Do(&netproto.Request{Verb: netproto.VerbMetrics})
+		c.Close()
+		if err != nil || resp.Err != "" {
+			t.Fatalf("scraping %s: %v %q", addr, err, resp.Err)
+		}
+		if counterValue(resp.Metrics, "mqsched_server_submitted_total") == 0 {
+			t.Fatalf("server %s saw no queries: round-robin broken", addr)
+		}
+	}
+}
+
+// TestRunnerAddrsValidate pins the multi-address config contract.
+func TestRunnerAddrsValidate(t *testing.T) {
+	if err := (RunnerConfig{Addrs: []string{"a:1", "b:2"}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (RunnerConfig{Addr: "a:1", Addrs: []string{"b:2"}}).Validate(); err == nil {
+		t.Fatal("Addr and Addrs together should not validate")
+	}
+	if err := (RunnerConfig{Addrs: []string{"a:1", " "}}).Validate(); err == nil {
+		t.Fatal("blank address in Addrs should not validate")
+	}
+}

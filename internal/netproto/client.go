@@ -60,6 +60,24 @@ func (c *Client) doLocked(req *Request) (*Response, error) {
 	return c.conn.ReadResponse()
 }
 
+// Ping sends the cheap liveness probe and returns the responder's identity.
+// A server predating the verb answers with an unknown-verb error, returned
+// as an error — callers probing mixed fleets should fall back to VerbMetrics
+// on it (see VerbPing).
+func (c *Client) Ping() (*PingInfo, error) {
+	resp, err := c.Do(&Request{Verb: VerbPing})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	if resp.Ping == nil {
+		return nil, fmt.Errorf("netproto: ping answered without PingInfo")
+	}
+	return resp.Ping, nil
+}
+
 // TraceChromeDump fetches the server's full retained span ring as Chrome
 // trace_event JSON — the snapshot mqviz and chrome://tracing load. A server
 // without span tracing answers with a Response.Err, returned as an error.

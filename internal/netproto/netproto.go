@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"mqsched/internal/geom"
+	"mqsched/internal/metrics"
 	"mqsched/internal/vm"
 )
 
@@ -31,6 +32,12 @@ const (
 	// entries with sequence numbers above Request.SinceSeq (Response.TraceSeq
 	// reports the highest sequence returned, for resuming the poll).
 	VerbTrace = "TRACE"
+	// VerbPing answers with build identity and uptime (Response.Ping) — the
+	// cheap liveness probe health checkers use instead of paying for a full
+	// METRICS snapshot. Servers predating the verb answer with the standard
+	// unknown-verb error response; probers should treat that as alive and
+	// fall back to VerbMetrics.
+	VerbPing = "PING"
 )
 
 // Request is one client request: a Virtual Microscope query (the default) or
@@ -56,6 +63,11 @@ type Request struct {
 	// as Chrome trace_event JSON (Response.TraceJSON) instead of rendered
 	// text. Ignored when QueryID is set.
 	TraceChrome bool
+	// MetricsSnapshot asks a VerbMetrics request for the structured registry
+	// snapshot (Response.MetricsSnap) alongside the Prometheus text. The
+	// cluster router merges backend snapshots with metrics.Snapshot.Merge;
+	// servers predating the field simply leave MetricsSnap nil.
+	MetricsSnapshot bool
 }
 
 // Meta converts the request to a VM predicate, validating and zoom-aligning
@@ -100,6 +112,27 @@ type Response struct {
 	// VerbTrace request with TraceChrome set; loadable by chrome://tracing,
 	// Perfetto, or mqviz.
 	TraceJSON []byte
+	// MetricsSnap is the structured registry snapshot answering a
+	// VerbMetrics request with MetricsSnapshot set (nil from servers that
+	// predate the field).
+	MetricsSnap *metrics.Snapshot
+	// Ping answers a VerbPing request.
+	Ping *PingInfo
+}
+
+// PingInfo is the cheap liveness answer: who is up, for how long, built from
+// what. Probers use it to health-check without the cost of a METRICS
+// snapshot.
+type PingInfo struct {
+	// Role distinguishes a single query server ("server") from the cluster
+	// router ("router").
+	Role string
+	// UptimeMS is milliseconds since the responder started serving.
+	UptimeMS float64
+	// Version, Go, and Strategies mirror mqsched.BuildInfo().
+	Version    string
+	Go         string
+	Strategies string
 }
 
 // Conn wraps a stream with gob encoding in both directions.

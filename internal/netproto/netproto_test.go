@@ -2,6 +2,7 @@ package netproto
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -324,4 +325,71 @@ func TestServeTraceVerb(t *testing.T) {
 	if !bytes.Equal(data, cd.TraceJSON) {
 		t.Error("client helper dump differs from raw verb response")
 	}
+}
+
+// TestPingVerb checks the PING health-check verb: a cheap probe answering
+// uptime and build identity without touching the scheduler.
+func TestPingVerb(t *testing.T) {
+	c := startServer(t, false)
+	resp := roundTrip(t, c, &Request{Verb: VerbPing})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	p := resp.Ping
+	if p == nil {
+		t.Fatal("PING answered without PingInfo")
+	}
+	if p.Role != "server" || p.Version == "" || p.Go == "" || p.Strategies == "" {
+		t.Fatalf("ping info incomplete: %+v", p)
+	}
+	if p.UptimeMS < 0 {
+		t.Fatalf("negative uptime %v", p.UptimeMS)
+	}
+	// Uptime advances between probes.
+	time.Sleep(5 * time.Millisecond)
+	again := roundTrip(t, c, &Request{Verb: VerbPing})
+	if again.Ping.UptimeMS <= p.UptimeMS {
+		t.Fatalf("uptime did not advance: %v -> %v", p.UptimeMS, again.Ping.UptimeMS)
+	}
+}
+
+// TestPingAgainstOldServer pins the compatibility contract a new client (or
+// the cluster router's prober) relies on when probing a server that predates
+// the PING verb: the unknown-verb error comes back as a Response, the
+// connection survives, and Client.Ping surfaces it as an error.
+func TestPingAgainstOldServer(t *testing.T) {
+	// An "old server" is one whose Answer has no PING case; the closest
+	// in-tree stand-in is a handler that only knows queries and metrics.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go ServeHandler(l, oldServerHandler{}, func(string, ...any) {})
+
+	c := NewClient(l.Addr().String(), time.Second)
+	defer c.Close()
+	if _, err := c.Ping(); err == nil || !strings.Contains(err.Error(), "unknown verb") {
+		t.Fatalf("Ping against old server: err = %v, want unknown-verb", err)
+	}
+	// The connection is still good for verbs the old server does know.
+	resp, err := c.Do(&Request{Verb: VerbMetrics})
+	if err != nil || resp.Metrics != "# old\n" {
+		t.Fatalf("connection unusable after refused verb: %v %+v", err, resp)
+	}
+}
+
+// oldServerHandler mimics a pre-PING server: queries and METRICS only,
+// anything else gets the unknown-verb error (the exact shape old SystemHandler
+// versions produced).
+type oldServerHandler struct{}
+
+func (oldServerHandler) Answer(req *Request, _ ConnInfo) *Response {
+	switch req.Verb {
+	case "", VerbQuery:
+		return &Response{Width: 1, Height: 1}
+	case VerbMetrics:
+		return &Response{Metrics: "# old\n"}
+	}
+	return &Response{Err: fmt.Sprintf("netproto: unknown verb %q", req.Verb)}
 }

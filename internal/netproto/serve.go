@@ -9,15 +9,42 @@ import (
 	"net"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"mqsched"
 	"mqsched/internal/trace"
 )
 
+// Handler answers requests read off a client connection. It is the seam
+// between the wire plumbing (accept loop, gob framing, connection lifecycle)
+// and whatever stands behind it: a single query server (SystemHandler), the
+// cluster router (internal/cluster), or a test fake. Answer must be safe for
+// concurrent use — every connection calls it from its own goroutine — and
+// must always return a response (bad requests yield Response.Err, never a
+// dropped connection).
+type Handler interface {
+	Answer(req *Request, from ConnInfo) *Response
+}
+
+// ConnInfo identifies where a request came from: the serving loop's
+// connection number and the request's ordinal on that connection. Handlers
+// use it to name per-request client processes and to label logs; it carries
+// no network details.
+type ConnInfo struct {
+	ConnID int64
+	ReqNo  int
+}
+
 // Serve accepts connections on l and answers Virtual Microscope requests
 // against sys (which must be a Real-mode system). It returns when the
 // listener is closed.
 func Serve(l net.Listener, sys *mqsched.System, logf func(format string, args ...any)) error {
+	return ServeHandler(l, NewSystemHandler(sys), logf)
+}
+
+// ServeHandler accepts connections on l and answers each request via h. It
+// returns when the listener is closed.
+func ServeHandler(l net.Listener, h Handler, logf func(format string, args ...any)) error {
 	if logf == nil {
 		logf = log.Printf
 	}
@@ -31,11 +58,11 @@ func Serve(l net.Listener, sys *mqsched.System, logf func(format string, args ..
 			return err
 		}
 		n := atomic.AddInt64(&id, 1)
-		go serveConn(nc, sys, n, logf)
+		go serveConn(nc, h, n, logf)
 	}
 }
 
-func serveConn(nc net.Conn, sys *mqsched.System, id int64, logf func(string, ...any)) {
+func serveConn(nc net.Conn, h Handler, id int64, logf func(string, ...any)) {
 	defer nc.Close()
 	c := NewConn(nc)
 	logf("client %d connected from %s", id, nc.RemoteAddr())
@@ -47,7 +74,7 @@ func serveConn(nc net.Conn, sys *mqsched.System, id int64, logf func(string, ...
 			}
 			return
 		}
-		resp := answer(sys, req, id, reqNo)
+		resp := h.Answer(req, ConnInfo{ConnID: id, ReqNo: reqNo})
 		if err := c.WriteResponse(resp); err != nil {
 			logf("client %d: write: %v", id, err)
 			return
@@ -55,24 +82,52 @@ func serveConn(nc net.Conn, sys *mqsched.System, id int64, logf func(string, ...
 	}
 }
 
-// answer dispatches one request by verb. Bad requests — unknown verbs
+// SystemHandler answers requests against one mqsched.System — the single
+// query server the protocol originally fronted. The zero value is unusable;
+// construct with NewSystemHandler (which stamps the uptime epoch PING
+// reports).
+type SystemHandler struct {
+	sys   *mqsched.System
+	start time.Time
+}
+
+// NewSystemHandler wraps sys for ServeHandler.
+func NewSystemHandler(sys *mqsched.System) *SystemHandler {
+	return &SystemHandler{sys: sys, start: time.Now()}
+}
+
+// Answer dispatches one request by verb. Bad requests — unknown verbs
 // included — yield an error response, never a dropped connection.
-func answer(sys *mqsched.System, req *Request, connID int64, reqNo int) *Response {
+func (h *SystemHandler) Answer(req *Request, from ConnInfo) *Response {
 	switch req.Verb {
 	case "", VerbQuery:
-		return answerQuery(sys, req, connID, reqNo)
+		return h.answerQuery(req, from)
+	case VerbPing:
+		bi := mqsched.BuildInfo()
+		return &Response{Ping: &PingInfo{
+			Role:       "server",
+			UptimeMS:   float64(time.Since(h.start).Microseconds()) / 1000,
+			Version:    bi["version"],
+			Go:         bi["go"],
+			Strategies: bi["strategies"],
+		}}
 	case VerbMetrics:
-		reg := sys.Metrics()
+		reg := h.sys.Metrics()
 		if reg == nil {
 			return &Response{Err: "netproto: metrics not enabled on this server"}
 		}
+		snap := reg.Snapshot()
 		var sb strings.Builder
-		if err := reg.WritePrometheus(&sb); err != nil {
+		if err := snap.WritePrometheus(&sb); err != nil {
 			return &Response{Err: err.Error()}
 		}
-		return &Response{Metrics: sb.String()}
+		resp := &Response{Metrics: sb.String()}
+		if req.MetricsSnapshot {
+			resp.MetricsSnap = &snap
+		}
+		return resp
 	case VerbTrace:
-		return answerTrace(sys, req)
+		return h.answerTrace(req)
 	default:
 		return &Response{Err: fmt.Sprintf("netproto: unknown verb %q", req.Verb)}
 	}
@@ -80,8 +135,8 @@ func answer(sys *mqsched.System, req *Request, connID int64, reqNo int) *Respons
 
 // answerTrace serves span data: one query's tree (QueryID set) or the
 // slow-query log above SinceSeq.
-func answerTrace(sys *mqsched.System, req *Request) *Response {
-	tr := sys.Spans()
+func (h *SystemHandler) answerTrace(req *Request) *Response {
+	tr := h.sys.Spans()
 	if tr == nil {
 		return &Response{Err: "netproto: span tracing not enabled on this server"}
 	}
@@ -111,7 +166,8 @@ func answerTrace(sys *mqsched.System, req *Request) *Response {
 }
 
 // answerQuery runs one query through the query server synchronously.
-func answerQuery(sys *mqsched.System, req *Request, connID int64, reqNo int) *Response {
+func (h *SystemHandler) answerQuery(req *Request, from ConnInfo) *Response {
+	sys := h.sys
 	layout, ok := sys.Datasets().Lookup(req.Slide)
 	if !ok {
 		return &Response{Err: fmt.Sprintf("unknown slide %q", req.Slide)}
@@ -127,7 +183,7 @@ func answerQuery(sys *mqsched.System, req *Request, connID int64, reqNo int) *Re
 
 	// Wait for completion on a client process of the real runtime.
 	done := make(chan *mqsched.Result, 1)
-	sys.Start(fmt.Sprintf("conn%d-req%d", connID, reqNo), func(ctx mqsched.Ctx) {
+	sys.Start(fmt.Sprintf("conn%d-req%d", from.ConnID, from.ReqNo), func(ctx mqsched.Ctx) {
 		done <- ticket.Wait(ctx)
 	})
 	res := <-done
